@@ -1,0 +1,46 @@
+"""Ablation A1 -- dirty-bit chunk size (paper section IV-D1).
+
+The paper chooses 1 MB chunks experimentally.  The trade-off: tiny
+chunks pay a per-DMA latency for every dirty chunk; huge chunks ship
+mostly-clean data whenever writes are sparse.  BFS (scattered frontier
+writes into the replicated levels array) is the sensitive workload.
+"""
+
+import repro
+from repro.apps import ALL_APPS
+
+CHUNK_SIZES = [256, 4 << 10, 64 << 10, 1 << 20, 16 << 20]
+
+
+def sweep():
+    spec = ALL_APPS["bfs"]
+    prog = repro.compile(spec.source)
+    out = {}
+    for chunk in CHUNK_SIZES:
+        args = spec.args_for("bench")
+        run = prog.run(spec.entry, args, machine="desktop", ngpus=2,
+                       chunk_bytes=chunk)
+        out[chunk] = (run.breakdown.gpu_gpu, run.executor.comm.bytes_replica)
+    return out
+
+
+def test_chunk_size_tradeoff(bench_once, benchmark):
+    results = bench_once(sweep)
+    lines = ["Ablation A1 -- dirty chunk size (BFS, desktop, 2 GPUs)",
+             f"{'chunk':>10}  {'GPU-GPU s':>12}  {'bytes moved':>12}"]
+    for chunk, (secs, nbytes) in results.items():
+        lines.append(f"{chunk:>10}  {secs:>12.6f}  {nbytes:>12}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+
+    times = {c: t for c, (t, _) in results.items()}
+    moved = {c: b for c, (_, b) in results.items()}
+
+    # Larger chunks never move fewer bytes; tiny chunks move the least.
+    assert moved[256] <= moved[4 << 10] <= moved[16 << 20]
+    # Tiny chunks pay per-DMA latency: 256 B must be slower than 64 KiB.
+    assert times[256] > times[64 << 10]
+    # The paper's 1 MB choice is within 25% of the sweep's best.
+    best = min(times.values())
+    assert times[1 << 20] <= 1.25 * best

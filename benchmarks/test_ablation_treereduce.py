@@ -1,0 +1,52 @@
+"""Ablation A4 -- inter-GPU reduction topology (section IV-B4).
+
+The paper's hierarchical reduction ends with an inter-GPU merge.  Two
+topologies are compared on the reduction-bound app (KMEANS) at growing
+GPU counts: a flat gather to GPU 0 (G-1 transfers serialized on one
+link) versus a binary tree (log2 G rounds of concurrent pairwise
+transfers).  The tree is the default; the gap widens with GPU count,
+which is why it matters for the 8-GPU projection.
+"""
+
+import repro
+from repro.apps import ALL_APPS
+from repro.vcuda import MachineSpec
+from repro.vcuda.specs import PCIE_GEN2_TSUBAME, TESLA_M2050, XEON_X5670
+
+NODE8 = MachineSpec(
+    name="8-GPU node", cpu=XEON_X5670, cpu_sockets=2, gpu=TESLA_M2050,
+    gpu_count=8, bus=PCIE_GEN2_TSUBAME, gpu_hub=(0, 0, 0, 0, 1, 1, 1, 1))
+
+
+def sweep():
+    spec = ALL_APPS["kmeans"]
+    prog = repro.compile(spec.source)
+    out = {}
+    for g in (2, 4, 8):
+        for tree in (True, False):
+            args = spec.args_for("bench")
+            run = prog.run(spec.entry, args, machine=NODE8, ngpus=g,
+                           tree_reduction=tree)
+            out[(g, tree)] = run.breakdown.gpu_gpu
+    return out
+
+
+def test_tree_vs_flat_reduction(bench_once, benchmark):
+    results = bench_once(sweep)
+    lines = ["Ablation A4 -- reduction merge topology (KMEANS GPU-GPU s)",
+             f"{'GPUs':>5}  {'tree':>10}  {'flat':>10}  {'speedup':>8}"]
+    for g in (2, 4, 8):
+        t, f = results[(g, True)], results[(g, False)]
+        lines.append(f"{g:>5}  {t:>10.6f}  {f:>10.6f}  {f / t:>8.2f}x")
+    text = "\n".join(lines)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+
+    # At 2 GPUs the topologies coincide; beyond that the tree wins and
+    # the advantage grows with the GPU count.
+    assert abs(results[(2, True)] - results[(2, False)]) < 1e-9
+    assert results[(4, True)] < results[(4, False)]
+    assert results[(8, True)] < results[(8, False)]
+    gain4 = results[(4, False)] / results[(4, True)]
+    gain8 = results[(8, False)] / results[(8, True)]
+    assert gain8 > gain4

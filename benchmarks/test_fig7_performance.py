@@ -1,0 +1,65 @@
+"""Fig. 7 -- relative performance of every version, normalized to OpenMP.
+
+Paper claims validated here (shape, not absolute numbers):
+
+* desktop: up to ~6.75x over OpenMP at 2 GPUs (ours lands within band);
+* supercomputer: up to ~2.95x at 3 GPUs;
+* the proposal on multiple GPUs outperforms hand-written single-GPU
+  CUDA in exactly two of the three applications;
+* BFS shows no improvement over OpenMP on the supercomputer node and
+  degrades with more GPUs there.
+"""
+
+from repro.bench import fig7, render_fig7
+
+
+def _by_app(rows):
+    return {r.app: r.relative for r in rows}
+
+
+def test_fig7_desktop(bench_once, benchmark):
+    rows = bench_once(fig7, "desktop", workload="bench")
+    text = render_fig7(rows, "Fig. 7 (desktop)")
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    rel = _by_app(rows)
+
+    # Headline: best desktop speedup lands in the paper's band (6.75x).
+    best = max(v for r in rel.values() for v in r.values())
+    assert 4.5 <= best <= 9.0, f"desktop max speedup {best:.2f} off-band"
+    assert best == rel["md"]["Proposal(2)"]
+
+    # Every app beats OpenMP with the proposal on the desktop.
+    for app in rel:
+        assert rel[app]["Proposal(1)"] > 1.0, app
+
+    # Proposal(2) > CUDA(1) for exactly two of the three apps (MD, KMEANS).
+    wins = [app for app in rel
+            if rel[app]["Proposal(2)"] > rel[app]["CUDA(1)"]]
+    assert sorted(wins) == ["kmeans", "md"], wins
+
+    # PGI (no layout transform / no check elision) <= Proposal(1).
+    for app in rel:
+        assert rel[app]["PGI(1)"] <= rel[app]["Proposal(1)"] * 1.001, app
+
+
+def test_fig7_supercomputer(bench_once, benchmark):
+    rows = bench_once(fig7, "supercomputer", workload="bench")
+    text = render_fig7(rows, "Fig. 7 (supercomputer node)")
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    rel = _by_app(rows)
+
+    # Headline: best supercomputer speedup in the paper's band (2.95x).
+    best = max(v for r in rel.values() for v in r.values())
+    assert 2.0 <= best <= 4.5, f"supercomputer max speedup {best:.2f}"
+
+    # BFS: no improvement over OpenMP, worse with more GPUs (paper: the
+    # one case without performance improvement).
+    assert rel["bfs"]["Proposal(1)"] <= 1.0
+    assert rel["bfs"]["Proposal(3)"] < rel["bfs"]["Proposal(2)"] \
+        < rel["bfs"]["Proposal(1)"]
+
+    # MD scales with GPU count (no inter-GPU communication).
+    assert rel["md"]["Proposal(3)"] > rel["md"]["Proposal(2)"] \
+        > rel["md"]["Proposal(1)"]

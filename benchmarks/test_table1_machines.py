@@ -1,0 +1,26 @@
+"""Table I -- the evaluation machine settings."""
+
+from repro.bench import render_table1, table1
+from repro.vcuda import DESKTOP_MACHINE, SUPERCOMPUTER_NODE
+
+
+def test_table1(bench_once, benchmark):
+    rows = bench_once(table1)
+    text = render_table1(rows)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+
+    by_name = {r.machine: r for r in rows}
+    desk = by_name[DESKTOP_MACHINE.name]
+    node = by_name[SUPERCOMPUTER_NODE.name]
+
+    # Table I rows: 1x Core i7 + 2x C2075; 2x Xeon + 3x M2050.
+    assert "Core i7" in desk.cpu and desk.cpu_sockets == 1
+    assert "C2075" in desk.gpus and desk.gpu_count == 2
+    assert "Xeon" in node.cpu and node.cpu_sockets == 2
+    assert "M2050" in node.gpus and node.gpu_count == 3
+
+    # Topology detail behind Fig. 8's BFS result: the node's third GPU
+    # sits behind the other I/O hub.
+    assert SUPERCOMPUTER_NODE.hub_of(0) == SUPERCOMPUTER_NODE.hub_of(1)
+    assert SUPERCOMPUTER_NODE.hub_of(2) != SUPERCOMPUTER_NODE.hub_of(0)

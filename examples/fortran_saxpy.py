@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Fortran frontend example: the same compiler, a second language.
+
+OpenACC is specified for C *and* Fortran; the paper's translator
+accepts both. This example compiles a Fortran subroutine with the
+multi-GPU directive extensions and runs it next to its C twin: both
+lower to the same AST, produce byte-identical kernels modulo the
+1-based-index rewriting, and behave identically at run time.
+
+Run:  python examples/fortran_saxpy.py
+"""
+
+import numpy as np
+
+import repro
+
+FORTRAN = """
+subroutine daxpy(n, a, x, y)
+  integer :: n
+  real(8) :: a
+  real(8) :: x(n), y(n)
+  integer :: i
+  !$acc data copyin(x[0:n]) copy(y[0:n])
+  !$acc parallel
+  !$acc localaccess x[stride(1)] y[stride(1)]
+  !$acc loop gang
+  do i = 1, n
+    y(i) = a * x(i) + y(i)
+  end do
+  !$acc end parallel
+  !$acc end data
+end subroutine daxpy
+"""
+
+C_TWIN = r"""
+void daxpy(int n, double a, double *x, double *y) {
+  #pragma acc data copyin(x[0:n]) copy(y[0:n])
+  {
+    #pragma acc parallel
+    {
+      #pragma acc localaccess x[stride(1)] y[stride(1)]
+      #pragma acc loop gang
+      for (int i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+    }
+  }
+}
+"""
+
+
+def main() -> None:
+    n = 1 << 18
+    results = {}
+    for label, compiler, src in (("Fortran", repro.compile_fortran, FORTRAN),
+                                 ("C", repro.compile, C_TWIN)):
+        prog = compiler(src)
+        x = np.linspace(0.0, 1.0, n)
+        y = np.full(n, 10.0)
+        run = prog.run("daxpy", {"n": n, "a": 3.0, "x": x, "y": y},
+                       machine="desktop", ngpus=2)
+        results[label] = (y, run)
+        print(f"{label:>8}: elapsed {run.elapsed * 1e3:.3f} ms, "
+              f"kernel {prog.kernels[0].name}, "
+              f"correct={bool(np.allclose(y, 3.0 * x + 10.0))}")
+
+    fy, _ = results["Fortran"]
+    cy, _ = results["C"]
+    print(f"\nFortran and C outputs identical: "
+          f"{bool(np.array_equal(fy, cy))}")
+
+    print("\n=== Fortran-compiled kernel ===")
+    print(repro.compile_fortran(FORTRAN).kernel_source("daxpy_L0"))
+
+
+if __name__ == "__main__":
+    main()

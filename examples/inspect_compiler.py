@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Compiler-internals tour: what the translator derives from a program.
+
+Walks one annotated program through every stage the paper describes --
+parsing, access analysis, array configuration information (IV-B5), the
+static cost model, and the generated vectorized kernel -- and prints
+each artifact.  Useful as a template for debugging your own programs.
+
+Run:  python examples/inspect_compiler.py
+"""
+
+import numpy as np
+
+import repro
+from repro.translator.compiler import CompileOptions, compile_source
+
+SOURCE = r"""
+float wave(int n, float damp, float *prev, float *cur, float *next, int *flags) {
+  float peak = 0.0f;
+  #pragma acc data copyin(prev[0:n], cur[0:n], flags[0:n]) copyout(next[0:n])
+  {
+    #pragma acc parallel
+    {
+      #pragma acc localaccess cur[stride(1, 1, 1)] prev[stride(1)] next[stride(1)]
+      #pragma acc loop gang reduction(max:peak)
+      for (int i = 0; i < n; i++) {
+        float v = 2.0f * cur[i] - prev[i];
+        if (i > 0 && i < n - 1) {
+          v = v + damp * (cur[i - 1] - 2.0f * cur[i] + cur[i + 1]);
+        }
+        if (flags[i] == 1) {
+          v = 0.0f;
+        }
+        next[i] = v;
+        peak = fmax(peak, v);
+      }
+    }
+  }
+  return peak;
+}
+"""
+
+
+def main() -> None:
+    compiled = compile_source(SOURCE, CompileOptions())
+    plan = compiled.plans[0]
+
+    print("=== kernel plan ===")
+    print(f"name:        {plan.name}")
+    print(f"loop var:    {plan.loop_var}")
+    print(f"host scalars passed to the kernel: {plan.scalar_names}")
+    print(f"scalar reductions: {plan.config.scalar_reductions}")
+
+    print("\n=== array configuration information (section IV-B5) ===")
+    hdr = f"{'array':<8} {'rw':<4} {'placement':<12} {'writes':<14} {'window'}"
+    print(hdr)
+    print("-" * len(hdr))
+    for name, cfg in sorted(plan.config.arrays.items()):
+        rw = ("r" if cfg.read else "") + ("w" if cfg.written else "")
+        window = cfg.window.spec.kind if cfg.window and cfg.window.spec \
+            else "-"
+        print(f"{name:<8} {rw:<4} {cfg.placement.value:<12} "
+              f"{cfg.write_handling.value:<14} {window}")
+
+    print("\n=== static cost model (per-iteration work) ===")
+    for label, work in plan.cost.buckets.items():
+        print(f"{label}: flops={work.flops:.1f} int={work.int_ops:.1f} "
+              f"coalescedB={work.coalesced_bytes:.2f} "
+              f"randomB={work.random_bytes:.2f} "
+              f"serialization={work.serialization:.1f}")
+
+    print("\n=== generated vectorized kernel ===")
+    print(plan.source)
+
+    # And it runs: a quick 2-GPU execution with a reflecting boundary.
+    n = 4096
+    x = np.linspace(0, 4 * np.pi, n).astype(np.float32)
+    prev = np.sin(x).astype(np.float32)
+    cur = np.sin(x + 0.1).astype(np.float32)
+    flags = np.zeros(n, dtype=np.int32)
+    flags[0] = flags[-1] = 1
+    args = {"n": n, "damp": 0.5, "prev": prev, "cur": cur,
+            "next": np.zeros(n, dtype=np.float32), "flags": flags}
+    prog = repro.AccProgram(compiled)
+    run = prog.run("wave", args, machine="desktop", ngpus=2)
+    print(f"=== executed on 2 GPUs: peak amplitude "
+          f"{float(np.abs(args['next']).max()):.4f}, "
+          f"modeled {run.elapsed * 1e6:.1f} us ===")
+
+
+if __name__ == "__main__":
+    main()

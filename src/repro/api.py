@@ -1,0 +1,206 @@
+"""Public API of the reproduction library.
+
+Typical use::
+
+    import repro
+
+    prog = repro.compile(SOURCE)               # OpenACC C with extensions
+    run = prog.run("main_fn", args={...},      # execute on a virtual machine
+                   machine="desktop", ngpus=2)
+    run.result.env["y"]                        # output arrays (in place)
+    run.elapsed                                # modeled seconds
+    run.breakdown                              # KERNELS / CPU-GPU / GPU-GPU
+
+``machine`` is one of :data:`repro.vcuda.MACHINES` (the paper's Table I
+platforms) or any :class:`~repro.vcuda.specs.MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .runtime.context import AccExecutor, LoopRunStats
+from .runtime.data_loader import DataLoader
+from .runtime.dirty import DEFAULT_CHUNK_BYTES
+from .frontend.fortran import parse_fortran
+from .translator.compiler import (
+    CompiledProgram,
+    CompileOptions,
+    compile_program,
+    compile_source,
+)
+from .translator.host import HostExecutor, RunResult
+from .vcuda.api import Platform
+from .vcuda.memory import PURPOSE_SYSTEM, PURPOSE_USER
+from .vcuda.profiler import TimeBreakdown
+from .vcuda.specs import MACHINES, MachineSpec
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled operation in virtual time."""
+
+    kind: str  # 'kernel' | 'h2d' | 'd2h' | 'p2p'
+    label: str
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ProgramRun:
+    """Everything observable about one program execution."""
+
+    result: RunResult
+    platform: Platform
+    executor: AccExecutor
+    breakdown: TimeBreakdown
+    loop_stats: list[LoopRunStats] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Modeled wall time (virtual seconds)."""
+        return self.platform.elapsed()
+
+    @property
+    def value(self) -> Any:
+        return self.result.value
+
+    def memory_high_water(self, purpose: str | None = None) -> int:
+        """Peak device bytes across all GPUs (Fig. 9 numbers)."""
+        if purpose is None:
+            return (self.platform.memory_high_water(PURPOSE_USER)
+                    + self.platform.memory_high_water(PURPOSE_SYSTEM))
+        return self.platform.memory_high_water(purpose)
+
+    @property
+    def kernel_launches(self) -> int:
+        return sum(len(d.launches) for d in self.platform.devices)
+
+    def timeline(self) -> list["TimelineEvent"]:
+        """Chronological event list: kernel launches and DMA transfers.
+
+        Events from different devices/links overlap in virtual time;
+        sorting by start shows exactly how the scheduler interleaved
+        them -- useful to see why multi-GPU scaling plateaus.
+        """
+        events: list[TimelineEvent] = []
+        for d in self.platform.devices:
+            for l in d.launches:
+                events.append(TimelineEvent(
+                    kind="kernel", label=l.kernel_name,
+                    resource=f"gpu{d.index}", start=l.start, end=l.end))
+        for t in self.platform.bus.completed:
+            if t.kind == "h2d":
+                resource = f"pcie->gpu{t.dst_device}"
+            elif t.kind == "d2h":
+                resource = f"pcie<-gpu{t.src_device}"
+            else:
+                resource = f"p2p gpu{t.src_device}->gpu{t.dst_device}"
+            events.append(TimelineEvent(
+                kind=t.kind, label=f"{t.nbytes}B", resource=resource,
+                start=t.start, end=t.end))
+        events.sort(key=lambda e: (e.start, e.end))
+        return events
+
+
+class AccProgram:
+    """A compiled OpenACC program bound to no particular machine."""
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        self.compiled = compiled
+
+    @property
+    def kernels(self):
+        return self.compiled.plans
+
+    def kernel(self, name: str):
+        return self.compiled.plan(name)
+
+    def kernel_source(self, name: str) -> str:
+        """The generated vectorized NumPy source for one kernel."""
+        return self.compiled.plan(name).source
+
+    def run(
+        self,
+        entry: str,
+        args: dict[str, Any],
+        machine: str | MachineSpec = "desktop",
+        ngpus: int = 1,
+        engine: str = "vector",
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        reload_skipping: bool = True,
+        tree_reduction: bool = True,
+    ) -> ProgramRun:
+        """Execute ``entry`` with ``args`` on a virtual machine.
+
+        Arrays in ``args`` are modified in place (C pointer semantics).
+        ``engine='interp'`` forces the scalar reference interpreter for
+        every kernel (slow; used by differential tests).
+        """
+        spec = MACHINES[machine] if isinstance(machine, str) else machine
+        platform = Platform(spec, ngpus)
+        loader = DataLoader(platform, chunk_bytes=chunk_bytes,
+                            reload_skipping=reload_skipping)
+        executor = AccExecutor(platform, loader, engine=engine,
+                               tree_reduction=tree_reduction)
+        host = HostExecutor(self.compiled, executor)
+        result = host.call(entry, args)
+        return ProgramRun(
+            result=result,
+            platform=platform,
+            executor=executor,
+            breakdown=platform.profiler.snapshot(),
+            loop_stats=list(executor.history),
+        )
+
+
+def compile(source: str, options: CompileOptions | None = None) -> AccProgram:  # noqa: A001
+    """Compile OpenACC C source (with the multi-GPU extensions)."""
+    return AccProgram(compile_source(source, options))
+
+
+def compile_fortran(source: str,
+                    options: CompileOptions | None = None) -> AccProgram:
+    """Compile OpenACC Fortran source (same extensions, same pipeline).
+
+    The Fortran frontend lowers to the shared AST (1-based subscripts
+    become 0-based, ``do`` loops become canonical ``for`` loops,
+    ``localaccess`` windows are re-based), so analysis, code generation
+    and the runtime are identical to the C path.
+    """
+    return AccProgram(compile_program(parse_fortran(source), options))
+
+
+def format_timeline(events: list[TimelineEvent], width: int = 60) -> str:
+    """ASCII Gantt chart of a run's timeline, one row per resource.
+
+    Each row shows when its device or link was busy; overlap between
+    rows is the concurrency the virtual scheduler found.
+    """
+    if not events:
+        return "(empty timeline)"
+    t1 = max(e.end for e in events)
+    if t1 <= 0:
+        return "(zero-length timeline)"
+    by_resource: dict[str, list[TimelineEvent]] = {}
+    for e in events:
+        by_resource.setdefault(e.resource, []).append(e)
+    label_w = max(len(r) for r in by_resource)
+    lines = [f"{'':{label_w}}  0{'.' * (width - 8)}{t1 * 1e3:.3f}ms"]
+    for resource in sorted(by_resource):
+        row = [" "] * width
+        for e in by_resource[resource]:
+            a = int(e.start / t1 * (width - 1))
+            b = max(a + 1, int(e.end / t1 * (width - 1)) + 1)
+            ch = {"kernel": "#", "h2d": ">", "d2h": "<", "p2p": "="}[e.kind]
+            for c in range(a, min(b, width)):
+                row[c] = ch
+        lines.append(f"{resource:{label_w}}  {''.join(row)}")
+    lines.append(f"{'':{label_w}}  # kernel   > h2d   < d2h   = p2p")
+    return "\n".join(lines)

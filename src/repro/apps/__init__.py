@@ -1,0 +1,19 @@
+"""The paper's benchmark applications: MD, KMEANS, BFS."""
+
+from . import bfs, heat2d, jacobi, kmeans, md, spmv, stencil
+from .base import AppSpec, Workload
+
+#: The paper's Table II applications.
+ALL_APPS = {"md": md.SPEC, "kmeans": kmeans.SPEC, "bfs": bfs.SPEC}
+
+#: Extension demos beyond the paper's three benchmarks.
+EXTRA_APPS = {
+    "stencil": stencil.SPEC,
+    "shift_scale": stencil.SHIFT_SPEC,
+    "heat2d": heat2d.SPEC,
+    "spmv": spmv.SPEC,
+    "jacobi": jacobi.SPEC,
+}
+
+__all__ = ["AppSpec", "Workload", "ALL_APPS", "EXTRA_APPS", "md", "kmeans",
+           "bfs", "stencil", "heat2d", "spmv", "jacobi"]

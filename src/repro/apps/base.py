@@ -1,0 +1,88 @@
+"""Common structure for the benchmark applications.
+
+Each app module exposes an :class:`AppSpec`: the OpenACC C source (with
+the paper's directive extensions), an input generator, a NumPy
+reference implementation for correctness checking, and the paper-scale
+constants used to reproduce Table II's memory column without running
+paper-scale inputs through the Python host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass
+class Workload:
+    """One named input configuration of an app."""
+
+    name: str
+    params: dict[str, Any]
+
+
+@dataclass
+class AppSpec:
+    """Everything the harness needs to run one application."""
+
+    name: str
+    description: str
+    source: str
+    entry: str
+    #: Build the argument dict for :meth:`repro.AccProgram.run`.
+    make_args: Callable[..., dict[str, Any]]
+    #: Compute expected outputs with NumPy; returns {name: array}.
+    reference: Callable[[dict[str, Any]], dict[str, np.ndarray]]
+    #: Names of output arrays to compare against the reference.
+    outputs: list[str] = field(default_factory=list)
+    #: Per-output fraction of elements allowed to mismatch.  Non-zero for
+    #: outputs that are discontinuous functions of floating-point
+    #: accumulations (k-means labels of boundary points): parallel partial
+    #: sums reassociate float32 adds, which can flip such labels -- on the
+    #: paper's real multi-GPU runs exactly as here.
+    mismatch_budget: dict[str, float] = field(default_factory=dict)
+    #: Workloads: 'tiny' (unit tests), 'bench' (figure regeneration).
+    workloads: dict[str, Workload] = field(default_factory=dict)
+    #: Paper Table II row: (source suite, input label, device MB,
+    #: parallel loops, kernel executions, localaccess fraction "a/b").
+    table2_paper: tuple[str, str, float, int, int, str] | None = None
+    #: Device bytes of a single-GPU run at *paper* scale (column A).
+    paper_scale_bytes: Callable[[], int] | None = None
+
+    def args_for(self, workload: str = "bench") -> dict[str, Any]:
+        wl = self.workloads[workload]
+        return self.make_args(**wl.params)
+
+    @staticmethod
+    def snapshot(args: dict[str, Any]) -> dict[str, Any]:
+        """Deep-copy of the argument dict (run() mutates arrays in place)."""
+        return {k: (v.copy() if isinstance(v, np.ndarray) else v)
+                for k, v in args.items()}
+
+    def check(self, args: dict[str, Any], inputs: dict[str, Any] | None = None,
+              rtol: float = 1e-4, atol: float = 1e-5) -> None:
+        """Assert the in-place outputs in ``args`` match the reference.
+
+        ``inputs`` must be a pre-run :meth:`snapshot` whenever the program
+        mutates arrays the reference also reads as inputs (KMEANS'
+        ``clusters``); if omitted, ``args`` is assumed to still hold the
+        original inputs.
+        """
+        expected = self.reference(inputs if inputs is not None else args)
+        for name in self.outputs:
+            got = np.asarray(args[name])
+            want = np.asarray(expected[name])
+            close = np.isclose(got, want, rtol=rtol, atol=atol)
+            budget = self.mismatch_budget.get(name, 0.0)
+            if close.all():
+                continue
+            bad = np.flatnonzero(~close)
+            if bad.size <= budget * got.size:
+                continue
+            raise AssertionError(
+                f"{self.name}: output {name!r} mismatches reference at "
+                f"{bad.size}/{got.size} positions (budget "
+                f"{budget * got.size:.0f}; first: {bad[:5]}, got "
+                f"{got[bad[:5]]}, want {want[bad[:5]]})")

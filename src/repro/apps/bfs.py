@@ -1,0 +1,154 @@
+"""BFS: level-synchronous breadth-first search (SHOC).
+
+Table II: one parallel loop executed once per frontier level (the
+paper's 10 kernel executions); 2 of 3 device arrays carry
+``localaccess``: the CSR row-pointer array with ``stride(1,0,1)``
+(each vertex also reads ``row[u+1]``) and the adjacency array with the
+general inclusive-bounds form ``bounds(row[u], row[u+1]-1)`` -- the
+per-iteration window is data-dependent but consecutive and monotone,
+so the data loader can still distribute it by evaluating the bounds on
+the host.  The ``levels`` array is read *and written* at
+data-dependent vertex indices, so it stays replica-placed with
+two-level dirty-bit propagation after every kernel: this irregular
+write traffic is what makes BFS the paper's communication-bound worst
+case (flat on the supercomputer node, Fig. 8).
+
+Paper input: "SM node" graph, ~444.9 MB on the device.  The generator
+produces a connected power-law-ish graph via a shuffled
+Watts-Strogatz-like construction in CSR form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppSpec, Workload
+
+SOURCE = r"""
+void bfs(int nverts, int nedges, int source, int *row, int *col, int *levels) {
+  for (int v = 0; v < nverts; v++) {
+    levels[v] = -1;
+  }
+  levels[source] = 0;
+  int level = 0;
+  int changed = 1;
+  #pragma acc data copyin(row[0:nverts+1], col[0:nedges]) copy(levels[0:nverts])
+  {
+    while (changed) {
+      changed = 0;
+      #pragma acc parallel
+      {
+        #pragma acc localaccess row[stride(1,0,1)] col[bounds(row[u], row[u + 1] - 1)]
+        #pragma acc loop gang reduction(+:changed)
+        for (int u = 0; u < nverts; u++) {
+          if (levels[u] == level) {
+            for (int e = row[u]; e < row[u + 1]; e++) {
+              int v = col[e];
+              if (levels[v] == -1) {
+                levels[v] = level + 1;
+                changed += 1;
+              }
+            }
+          }
+        }
+      }
+      level = level + 1;
+    }
+  }
+}
+"""
+
+ENTRY = "bfs"
+
+PAPER_NVERTS = 1 << 20
+PAPER_AVG_DEGREE = 100
+
+
+def make_args(nverts: int = 20000, avg_degree: int = 12,
+              seed: int = 23) -> dict:
+    """Connected sparse graph in CSR, with a heavy-tailed degree mix.
+
+    A ring backbone guarantees connectivity (every vertex reachable, a
+    deep frontier progression); the remaining edges are random with a
+    bias toward hub vertices, giving the irregular neighbor writes BFS
+    is benchmarked for.
+    """
+    rng = np.random.default_rng(seed)
+    extra = max(0, avg_degree - 2)
+    # Hub bias: vertex sampling weights ~ 1/sqrt(rank).
+    weights = 1.0 / np.sqrt(np.arange(1, nverts + 1, dtype=np.float64))
+    weights /= weights.sum()
+    n_extra = nverts * extra
+    src = rng.integers(0, nverts, size=n_extra)
+    dst = rng.choice(nverts, size=n_extra, p=weights)
+    ring_src = np.arange(nverts)
+    edges_src = np.concatenate([ring_src, ring_src, src])
+    edges_dst = np.concatenate([(ring_src + 1) % nverts,
+                                (ring_src - 1) % nverts, dst])
+    order = np.argsort(edges_src, kind="stable")
+    edges_src = edges_src[order]
+    edges_dst = edges_dst[order]
+    counts = np.bincount(edges_src, minlength=nverts)
+    row = np.zeros(nverts + 1, dtype=np.int32)
+    np.cumsum(counts, out=row[1:])
+    col = edges_dst.astype(np.int32)
+    return {
+        "nverts": nverts,
+        "nedges": int(col.shape[0]),
+        "source": 0,
+        "row": row,
+        "col": col,
+        "levels": np.empty(nverts, dtype=np.int32),
+    }
+
+
+def reference(args: dict) -> dict:
+    """Standard level-synchronous BFS with NumPy frontier expansion."""
+    nverts = args["nverts"]
+    row = np.asarray(args["row"], dtype=np.int64)
+    col = np.asarray(args["col"], dtype=np.int64)
+    levels = np.full(nverts, -1, dtype=np.int32)
+    levels[args["source"]] = 0
+    level = 0
+    frontier = np.array([args["source"]], dtype=np.int64)
+    while frontier.size:
+        counts = row[frontier + 1] - row[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        starts = np.repeat(row[frontier], counts)
+        offs = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        neighbors = col[starts + offs]
+        fresh = np.unique(neighbors[levels[neighbors] == -1])
+        if fresh.size == 0:
+            break
+        levels[fresh] = level + 1
+        frontier = fresh
+        level += 1
+    return {"levels": levels}
+
+
+def paper_scale_bytes() -> int:
+    row = (PAPER_NVERTS + 1) * 4
+    col = PAPER_NVERTS * PAPER_AVG_DEGREE * 4
+    levels = PAPER_NVERTS * 4
+    return row + col + levels
+
+
+SPEC = AppSpec(
+    name="bfs",
+    description="Level-synchronous BFS over a CSR graph (SHOC)",
+    source=SOURCE,
+    entry=ENTRY,
+    make_args=make_args,
+    reference=reference,
+    outputs=["levels"],
+    workloads={
+        "tiny": Workload("tiny", {"nverts": 200, "avg_degree": 4, "seed": 3}),
+        "test": Workload("test", {"nverts": 2000, "avg_degree": 8, "seed": 5}),
+        "bench": Workload("bench", {"nverts": 30000, "avg_degree": 12,
+                                    "seed": 23}),
+    },
+    table2_paper=("SHOC", "SM node", 444.9, 1, 10, "2/3"),
+    paper_scale_bytes=paper_scale_bytes,
+)

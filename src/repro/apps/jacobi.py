@@ -1,0 +1,122 @@
+"""JACOBI: iterative linear solver with device-driven convergence.
+
+Exercises a control pattern none of the other apps do: the host loop's
+termination depends on a ``max`` scalar reduction computed on the
+GPUs every sweep (``while (err > tol)``), so each iteration round-trips
+a reduced scalar from the devices into host control flow -- the
+OpenACC idiom for convergence-checked solvers.
+
+The system solved is diagonally dominant tridiagonal (guaranteed
+convergence); arrays distribute with one-element halos like the
+stencil app.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppSpec, Workload
+
+SOURCE = r"""
+void jacobi(int n, int maxiter, float tol, float *a_lo, float *a_di,
+            float *a_up, float *rhs, float *x, float *xn, int *iters) {
+  float err = 2.0f * tol;
+  int it = 0;
+  #pragma acc data copyin(a_lo[0:n], a_di[0:n], a_up[0:n], rhs[0:n]) copy(x[0:n]) create(xn[0:n])
+  {
+    while (err > tol && it < maxiter) {
+      err = 0.0f;
+      #pragma acc parallel
+      {
+        #pragma acc localaccess a_lo[stride(1)] a_di[stride(1)] a_up[stride(1)] rhs[stride(1)] x[stride(1, 1, 1)] xn[stride(1, 1, 1)]
+        #pragma acc loop gang reduction(max:err)
+        for (int i = 0; i < n; i++) {
+          float s = rhs[i];
+          if (i > 0) { s = s - a_lo[i] * x[i - 1]; }
+          if (i < n - 1) { s = s - a_up[i] * x[i + 1]; }
+          float v = s / a_di[i];
+          xn[i] = v;
+          err = fmax(err, fabs(v - x[i]));
+        }
+      }
+      #pragma acc parallel
+      {
+        #pragma acc localaccess xn[stride(1, 1, 1)] x[stride(1, 1, 1)]
+        #pragma acc loop gang
+        for (int i = 0; i < n; i++) {
+          x[i] = xn[i];
+        }
+      }
+      it = it + 1;
+    }
+  }
+  iters[0] = it;
+}
+"""
+
+ENTRY = "jacobi"
+
+
+def make_args(n: int = 2048, maxiter: int = 200, tol: float = 1e-4,
+              seed: int = 41) -> dict:
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(-1.0, 1.0, size=n).astype(np.float32)
+    up = rng.uniform(-1.0, 1.0, size=n).astype(np.float32)
+    lo[0] = 0.0
+    up[-1] = 0.0
+    # Diagonal dominance with margin: |d| > |l| + |u| + 1.
+    di = (np.abs(lo) + np.abs(up) + 1.5).astype(np.float32)
+    rhs = rng.uniform(-10.0, 10.0, size=n).astype(np.float32)
+    return {
+        "n": n,
+        "maxiter": maxiter,
+        "tol": float(tol),
+        "a_lo": lo,
+        "a_di": di,
+        "a_up": up,
+        "rhs": rhs,
+        "x": np.zeros(n, dtype=np.float32),
+        "xn": np.zeros(n, dtype=np.float32),
+        "iters": np.zeros(1, dtype=np.int32),
+    }
+
+
+def reference(args: dict) -> dict:
+    n = args["n"]
+    lo = np.asarray(args["a_lo"], dtype=np.float32)
+    di = np.asarray(args["a_di"], dtype=np.float32)
+    up = np.asarray(args["a_up"], dtype=np.float32)
+    rhs = np.asarray(args["rhs"], dtype=np.float32)
+    x = np.zeros(n, dtype=np.float32)
+    it = 0
+    tol = np.float32(args["tol"])
+    while it < args["maxiter"]:
+        s = rhs.copy()
+        s[1:] -= lo[1:] * x[:-1]
+        s[:-1] -= up[:-1] * x[1:]
+        xn = (s / di).astype(np.float32)
+        err = np.abs(xn - x).max() if n else np.float32(0)
+        x = xn
+        it += 1
+        if err <= tol:
+            break
+    return {"x": x, "iters": np.array([it], dtype=np.int32)}
+
+
+SPEC = AppSpec(
+    name="jacobi",
+    description="Jacobi tridiagonal solver with device-side convergence",
+    source=SOURCE,
+    entry=ENTRY,
+    make_args=make_args,
+    reference=reference,
+    outputs=["x", "iters"],
+    workloads={
+        "tiny": Workload("tiny", {"n": 96, "maxiter": 60, "tol": 1e-3,
+                                  "seed": 3}),
+        "test": Workload("test", {"n": 1024, "maxiter": 100, "tol": 1e-4,
+                                  "seed": 5}),
+        "bench": Workload("bench", {"n": 262144, "maxiter": 40,
+                                    "tol": 1e-5, "seed": 41}),
+    },
+)

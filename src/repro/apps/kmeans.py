@@ -1,0 +1,182 @@
+"""KMEANS: iterative clustering (Rodinia).
+
+Table II: two parallel loops (assignment + accumulation) executed once
+per iteration (the paper's 74 kernel executions = 37 iterations x 2);
+2 of 5 device arrays carry ``localaccess`` (the feature matrix with
+``stride(nfeatures)`` and the membership vector with ``stride(1)``).
+The accumulation loop updates the new-centers array and the cluster
+population counters at dynamically computed indices -- exactly the
+"complicated reduction" the ``reductiontoarray`` extension exists for
+(section III-B); the inter-GPU merge of those private copies is
+KMEANS' only inter-GPU traffic, putting it between MD and BFS.
+
+Paper input: the kddcup feature matrix (~69.2 MB on the device).  The
+generator samples a mixture of Gaussians so the iteration count is
+stable and nontrivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppSpec, Workload
+
+SOURCE = r"""
+void kmeans(int npoints, int nclusters, int nfeatures, int niters,
+            float *features, float *clusters, int *membership,
+            float *new_centers, int *counts) {
+  #pragma acc data copyin(features[0:npoints*nfeatures]) copy(clusters[0:nclusters*nfeatures], membership[0:npoints], new_centers[0:nclusters*nfeatures], counts[0:nclusters])
+  {
+    for (int iter = 0; iter < niters; iter++) {
+      #pragma acc parallel
+      {
+        #pragma acc localaccess features[stride(nfeatures)] membership[stride(1)]
+        #pragma acc loop gang
+        for (int i = 0; i < npoints; i++) {
+          int best = 0;
+          float bestdist = 1.0e30f;
+          for (int c = 0; c < nclusters; c++) {
+            float dist = 0.0f;
+            for (int f = 0; f < nfeatures; f++) {
+              float d = features[i * nfeatures + f] - clusters[c * nfeatures + f];
+              dist = dist + d * d;
+            }
+            if (dist < bestdist) {
+              bestdist = dist;
+              best = c;
+            }
+          }
+          membership[i] = best;
+        }
+      }
+      for (int z = 0; z < nclusters * nfeatures; z++) {
+        new_centers[z] = 0.0f;
+      }
+      for (int zc = 0; zc < nclusters; zc++) {
+        counts[zc] = 0;
+      }
+      #pragma acc update device(new_centers[0:nclusters*nfeatures], counts[0:nclusters])
+      #pragma acc parallel
+      {
+        #pragma acc localaccess features[stride(nfeatures)] membership[stride(1)]
+        #pragma acc loop gang
+        for (int i = 0; i < npoints; i++) {
+          int c = membership[i];
+          #pragma acc reductiontoarray(+: counts[0:nclusters])
+          counts[c] += 1;
+          for (int f = 0; f < nfeatures; f++) {
+            #pragma acc reductiontoarray(+: new_centers[0:nclusters*nfeatures])
+            new_centers[c * nfeatures + f] += features[i * nfeatures + f];
+          }
+        }
+      }
+      for (int c2 = 0; c2 < nclusters; c2++) {
+        if (counts[c2] > 0) {
+          for (int f2 = 0; f2 < nfeatures; f2++) {
+            clusters[c2 * nfeatures + f2] =
+                new_centers[c2 * nfeatures + f2] / counts[c2];
+          }
+        }
+      }
+      #pragma acc update device(clusters[0:nclusters*nfeatures])
+      ;
+    }
+  }
+}
+"""
+
+ENTRY = "kmeans"
+
+PAPER_NPOINTS = 494019  # kddcup
+PAPER_NFEATURES = 34
+PAPER_NCLUSTERS = 5
+PAPER_NITERS = 37
+
+
+def make_args(npoints: int = 20000, nclusters: int = 5, nfeatures: int = 8,
+              niters: int = 6, seed: int = 11) -> dict:
+    """Mixture-of-Gaussians features + deterministic initial centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-4.0, 4.0, size=(nclusters, nfeatures))
+    assign = rng.integers(0, nclusters, size=npoints)
+    pts = centers[assign] + rng.normal(0.0, 0.7, size=(npoints, nfeatures))
+    features = pts.astype(np.float32)
+    # Rodinia initializes centers from the first nclusters points.
+    clusters = features[:nclusters].copy()
+    return {
+        "npoints": npoints,
+        "nclusters": nclusters,
+        "nfeatures": nfeatures,
+        "niters": niters,
+        "features": features.reshape(-1),
+        "clusters": clusters.reshape(-1),
+        "membership": np.zeros(npoints, dtype=np.int32),
+        "new_centers": np.zeros(nclusters * nfeatures, dtype=np.float32),
+        "counts": np.zeros(nclusters, dtype=np.int32),
+    }
+
+
+def reference(args: dict) -> dict:
+    """NumPy reimplementation of the same fixed-iteration Lloyd loop."""
+    npoints = args["npoints"]
+    k = args["nclusters"]
+    f = args["nfeatures"]
+    feats = np.asarray(args["features"], dtype=np.float32).reshape(npoints, f)
+    clusters = np.asarray(args["clusters"], dtype=np.float32) \
+        .reshape(k, f).copy()
+    membership = np.zeros(npoints, dtype=np.int32)
+    counts = np.zeros(k, dtype=np.int32)
+    new_centers = np.zeros((k, f), dtype=np.float32)
+    for _ in range(args["niters"]):
+        # Assignment (float32 partial sums in feature order, like the kernel).
+        dist = np.zeros((npoints, k), dtype=np.float32)
+        for ff in range(f):
+            d = feats[:, ff, None] - clusters[None, :, ff]
+            dist += d * d
+        membership = dist.argmin(axis=1).astype(np.int32)
+        # Accumulation.
+        counts = np.bincount(membership, minlength=k).astype(np.int32)
+        new_centers = np.zeros((k, f), dtype=np.float32)
+        np.add.at(new_centers, membership, feats)
+        nonzero = counts > 0
+        # Divide in float64 then round to float32, matching C's implicit
+        # promotion of float / int (the host executor does the same).
+        clusters[nonzero] = (new_centers[nonzero].astype(np.float64)
+                             / counts[nonzero, None]).astype(np.float32)
+    return {
+        "membership": membership,
+        "clusters": clusters.reshape(-1),
+        "counts": counts,
+        "new_centers": new_centers.reshape(-1),
+    }
+
+
+def paper_scale_bytes() -> int:
+    features = PAPER_NPOINTS * PAPER_NFEATURES * 4
+    membership = PAPER_NPOINTS * 4
+    clusters = PAPER_NCLUSTERS * PAPER_NFEATURES * 4
+    new_centers = clusters
+    counts = PAPER_NCLUSTERS * 4
+    return features + membership + clusters + new_centers + counts
+
+
+SPEC = AppSpec(
+    name="kmeans",
+    description="K-means clustering (Rodinia, kddcup-shaped input)",
+    source=SOURCE,
+    entry=ENTRY,
+    make_args=make_args,
+    reference=reference,
+    outputs=["membership", "clusters"],
+    mismatch_budget={"membership": 0.01, "clusters": 0.02},
+    workloads={
+        "tiny": Workload("tiny", {"npoints": 300, "nclusters": 3,
+                                  "nfeatures": 4, "niters": 3, "seed": 2}),
+        "test": Workload("test", {"npoints": 3000, "nclusters": 4,
+                                  "nfeatures": 6, "niters": 4, "seed": 5}),
+        "bench": Workload("bench", {"npoints": 40000, "nclusters": 5,
+                                    "nfeatures": 16, "niters": 8, "seed": 11}),
+    },
+    table2_paper=("Rodinia", "kddcup", 69.2, 2, 74, "2/5"),
+    paper_scale_bytes=paper_scale_bytes,
+)

@@ -1,0 +1,163 @@
+"""STENCIL: 1-D Jacobi smoothing (beyond the paper's three benchmarks).
+
+The paper's section VI names stencil computations as the motivating
+case for its (future-work) multi-dimensional ``localaccess``; the
+*one-dimensional* form is fully supported by the prototype's design,
+so this app demonstrates it and exercises two runtime paths the three
+paper benchmarks never hit:
+
+* **halo exchange**: both arrays declare ``stride(1, 1, 1)`` -- a
+  one-element halo on each side -- in both sweeps, so each GPU's read
+  window overlaps its neighbors' primary blocks, the loader caches the
+  placement across sweeps (identical signatures), and the communication
+  manager refreshes just the stale halo elements after every write;
+* **write-miss checks**: the boundary-wrap variant writes
+  ``dst[(i + shift) % n]``, a dynamically computed destination the
+  compiler cannot prove local, so the translator plants per-write miss
+  checks and the runtime routes the buffered records to the owner GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppSpec, Workload
+
+SOURCE = r"""
+void stencil(int n, int steps, float alpha, float *a, float *b) {
+  #pragma acc data copy(a[0:n]) create(b[0:n])
+  {
+    for (int s = 0; s < steps; s++) {
+      #pragma acc parallel
+      {
+        #pragma acc localaccess a[stride(1, 1, 1)] b[stride(1, 1, 1)]
+        #pragma acc loop gang
+        for (int i = 0; i < n; i++) {
+          if (i > 0 && i < n - 1) {
+            b[i] = (1.0f - alpha) * a[i]
+                 + alpha * 0.5f * (a[i - 1] + a[i + 1]);
+          } else {
+            b[i] = a[i];
+          }
+        }
+      }
+      #pragma acc parallel
+      {
+        #pragma acc localaccess b[stride(1, 1, 1)] a[stride(1, 1, 1)]
+        #pragma acc loop gang
+        for (int i = 0; i < n; i++) {
+          if (i > 0 && i < n - 1) {
+            a[i] = (1.0f - alpha) * b[i]
+                 + alpha * 0.5f * (b[i - 1] + b[i + 1]);
+          } else {
+            a[i] = b[i];
+          }
+        }
+      }
+    }
+  }
+}
+"""
+
+#: Variant with a dynamically computed (wrapping) destination: the write
+#: index is not provably inside the localaccess window, so the compiler
+#: plants miss checks and the runtime routes cross-GPU records.
+SHIFT_SOURCE = r"""
+void shift_scale(int n, int shift, float scale, float *src, float *dst) {
+  #pragma acc data copyin(src[0:n]) copy(dst[0:n])
+  {
+    #pragma acc parallel
+    {
+      #pragma acc localaccess src[stride(1)] dst[stride(1)]
+      #pragma acc loop gang
+      for (int i = 0; i < n; i++) {
+        dst[(i + shift) % n] = scale * src[i];
+      }
+    }
+  }
+}
+"""
+
+ENTRY = "stencil"
+
+
+def make_args(n: int = 16384, steps: int = 4, alpha: float = 0.8,
+              seed: int = 31) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "n": n,
+        "steps": steps,
+        "alpha": float(alpha),
+        "a": rng.uniform(0.0, 100.0, size=n).astype(np.float32),
+        "b": np.zeros(n, dtype=np.float32),
+    }
+
+
+def reference(args: dict) -> dict:
+    a = np.asarray(args["a"], dtype=np.float32).copy()
+    alpha = np.float32(args["alpha"])
+    one = np.float32(1.0)
+    half = np.float32(0.5)
+    b = np.zeros_like(a)
+    for _ in range(args["steps"]):
+        b[1:-1] = (one - alpha) * a[1:-1] + alpha * half * (a[:-2] + a[2:])
+        b[0] = a[0]
+        b[-1] = a[-1]
+        a2 = np.zeros_like(a)
+        a2[1:-1] = (one - alpha) * b[1:-1] + alpha * half * (b[:-2] + b[2:])
+        a2[0] = b[0]
+        a2[-1] = b[-1]
+        a = a2
+    return {"a": a, "b": b}
+
+
+def shift_args(n: int = 4096, shift: int = 173, scale: float = 2.5,
+               seed: int = 5) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "n": n,
+        "shift": shift,
+        "scale": float(scale),
+        "src": rng.uniform(-1.0, 1.0, size=n).astype(np.float32),
+        "dst": np.zeros(n, dtype=np.float32),
+    }
+
+
+def shift_reference(args: dict) -> dict:
+    src = np.asarray(args["src"], dtype=np.float32)
+    n = args["n"]
+    dst = np.zeros_like(src)
+    idx = (np.arange(n) + args["shift"]) % n
+    dst[idx] = np.float32(args["scale"]) * src
+    return {"dst": dst}
+
+
+SPEC = AppSpec(
+    name="stencil",
+    description="1-D Jacobi smoothing with halo exchange (extension demo)",
+    source=SOURCE,
+    entry=ENTRY,
+    make_args=make_args,
+    reference=reference,
+    outputs=["a"],
+    workloads={
+        "tiny": Workload("tiny", {"n": 64, "steps": 2, "seed": 3}),
+        "test": Workload("test", {"n": 1024, "steps": 3, "seed": 5}),
+        "bench": Workload("bench", {"n": 262144, "steps": 8, "seed": 31}),
+    },
+)
+
+SHIFT_SPEC = AppSpec(
+    name="shift_scale",
+    description="Wrapping shifted scatter (write-miss demo)",
+    source=SHIFT_SOURCE,
+    entry="shift_scale",
+    make_args=shift_args,
+    reference=shift_reference,
+    outputs=["dst"],
+    workloads={
+        "tiny": Workload("tiny", {"n": 128, "shift": 17, "seed": 3}),
+        "test": Workload("test", {"n": 4096, "shift": 173, "seed": 5}),
+        "bench": Workload("bench", {"n": 131072, "shift": 4099, "seed": 7}),
+    },
+)

@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates the paper's tables and figures."""
+
+from .harness import (
+    Fig7Row,
+    Fig8Row,
+    Fig9Row,
+    Table1Row,
+    Table2Row,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+)
+from .report import (
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    render_table2,
+)
+from .versions import VERSIONS, VersionResult, run_version
+
+__all__ = [
+    "fig7", "fig8", "fig9", "table1", "table2",
+    "Fig7Row", "Fig8Row", "Fig9Row", "Table1Row", "Table2Row",
+    "render_fig7", "render_fig8", "render_fig9", "render_table1",
+    "render_table2",
+    "run_version", "VersionResult", "VERSIONS",
+]

@@ -1,0 +1,55 @@
+"""Table I machine configurations, benchmark-facing helpers.
+
+The specs themselves live in :mod:`repro.vcuda.specs`; this module adds
+the lookup and hypothetical-machine helpers the harness and the
+projection benchmarks use.
+"""
+
+from __future__ import annotations
+
+from ..vcuda.specs import (
+    DESKTOP_MACHINE,
+    MACHINES,
+    MachineSpec,
+    PCIE_GEN2_TSUBAME,
+    SUPERCOMPUTER_NODE,
+    TESLA_M2050,
+    XEON_X5670,
+)
+
+
+def machine(name: str | MachineSpec) -> MachineSpec:
+    """Resolve a machine by Table I key or pass a spec through."""
+    if isinstance(name, MachineSpec):
+        return name
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}") from None
+
+
+def hypothetical_node(gpu_count: int, gpus_per_hub: int = 4) -> MachineSpec:
+    """A what-if node with TSUBAME-class parts and ``gpu_count`` GPUs.
+
+    GPUs are packed onto I/O hubs ``gpus_per_hub`` at a time; peer
+    transfers between hubs cross the QPI.  Used by the scaling
+    projection to ask where each application's curve bends beyond the
+    paper's 3-GPU hardware.
+    """
+    if gpu_count < 1:
+        raise ValueError("need at least one GPU")
+    hubs = tuple(g // gpus_per_hub for g in range(gpu_count))
+    return MachineSpec(
+        name=f"Hypothetical {gpu_count}-GPU node",
+        cpu=XEON_X5670,
+        cpu_sockets=2,
+        gpu=TESLA_M2050,
+        gpu_count=gpu_count,
+        bus=PCIE_GEN2_TSUBAME,
+        gpu_hub=hubs,
+    )
+
+
+__all__ = ["machine", "hypothetical_node", "MACHINES", "DESKTOP_MACHINE",
+           "SUPERCOMPUTER_NODE"]

@@ -1,0 +1,73 @@
+"""Text rendering of the regenerated tables and figures.
+
+The benchmark suite prints these; EXPERIMENTS.md embeds them.  Keeping
+the renderer separate from the harness lets tests assert on the data
+while humans read the tables.
+"""
+
+from __future__ import annotations
+
+from .harness import Fig7Row, Fig8Row, Fig9Row, Table1Row, Table2Row
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_fig7(rows: list[Fig7Row], title: str = "") -> str:
+    labels: list[str] = []
+    for r in rows:
+        for k in r.relative:
+            if k not in labels:
+                labels.append(k)
+    body = [[r.app] + [f"{r.relative.get(l, float('nan')):.2f}"
+                       for l in labels] for r in rows]
+    head = title or "Fig. 7 -- relative performance (normalized to OpenMP)"
+    return f"{head}\n" + _table(["app"] + labels, body)
+
+
+def render_fig8(rows: list[Fig8Row], title: str = "") -> str:
+    body = [[r.app, str(r.ngpus), f"{r.kernels:.3f}", f"{r.cpu_gpu:.3f}",
+             f"{r.gpu_gpu:.3f}", f"{r.total:.3f}"] for r in rows]
+    head = title or ("Fig. 8 -- execution-time breakdown "
+                     "(normalized to 1-GPU total)")
+    return f"{head}\n" + _table(
+        ["app", "GPUs", "KERNELS", "CPU-GPU", "GPU-GPU", "total"], body)
+
+
+def render_fig9(rows: list[Fig9Row], title: str = "") -> str:
+    body = [[r.app, str(r.ngpus), f"{r.user:.3f}", f"{r.system:.3f}",
+             f"{r.total:.3f}"] for r in rows]
+    head = title or ("Fig. 9 -- device memory usage "
+                     "(normalized to 1-GPU total)")
+    return f"{head}\n" + _table(["app", "GPUs", "User", "System", "total"],
+                                body)
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    body = [[r.machine, f"{r.cpu} x{r.cpu_sockets}",
+             f"{r.gpus} x{r.gpu_count}", r.bus] for r in rows]
+    return "Table I -- machine settings\n" + _table(
+        ["machine", "CPU", "GPUs", "bus"], body)
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    body = [[r.app, r.source_suite, r.input_label,
+             f"{r.paper_mb:.1f}", f"{r.computed_paper_mb:.1f}",
+             f"{r.measured_bench_mb:.1f}",
+             f"{r.parallel_loops} ({r.paper_parallel_loops})",
+             f"{r.kernel_executions} ({r.paper_kernel_executions})",
+             f"{r.localaccess} ({r.paper_localaccess})"] for r in rows]
+    return ("Table II -- application characteristics "
+            "(ours, paper values in parentheses)\n" + _table(
+                ["app", "suite", "input", "A:paper MB", "A:computed MB",
+                 "A:bench MB", "B:loops", "C:kernel execs", "D:localaccess"],
+                body))

@@ -1,0 +1,12 @@
+"""Simulated OpenMP CPU baseline."""
+
+from .openmp import (
+    CpuLoopStats,
+    CpuPlatform,
+    OpenMPExecutor,
+    OpenMPRun,
+    run_openmp,
+)
+
+__all__ = ["CpuPlatform", "OpenMPExecutor", "OpenMPRun", "CpuLoopStats",
+           "run_openmp"]

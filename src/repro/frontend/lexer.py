@@ -1,0 +1,215 @@
+"""Tokenizer for the C subset accepted by the translator.
+
+The lexer is line-aware only where C requires it: ``#pragma`` lines are
+captured whole as :data:`PRAGMA` tokens (with the text after the word
+``pragma``), since OpenACC directives are line-oriented.  Blank
+pragmas, ``//`` and ``/* */`` comments, and all standard numeric and
+operator forms of the subset are handled.
+
+Tokens carry ``line``/``col`` for error messages; every parse error in
+the compiler points back at the source location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"
+KEYWORD = "keyword"
+INT_LIT = "int"
+FLOAT_LIT = "float"
+STRING_LIT = "string"
+CHAR_LIT = "char"
+PUNCT = "punct"
+PRAGMA = "pragma"
+EOF = "eof"
+
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default", "do",
+        "double", "else", "enum", "extern", "float", "for", "goto", "if",
+        "inline", "int", "long", "register", "restrict", "return", "short",
+        "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while",
+    }
+)
+
+# Longest-match-first operator table.
+_PUNCTUATORS = sorted(
+    [
+        "...", "<<=", ">>=",
+        "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+        "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+        "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+class LexError(SyntaxError):
+    """Raised on malformed input, with line/column context."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"lex error at {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # compact for test failure output
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; returns tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+
+        # Newlines / whitespace.
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments.
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : j + 2]
+            nl = skipped.count("\n")
+            if nl:
+                line += nl
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = j + 2
+            continue
+
+        # Preprocessor lines: only #pragma is meaningful; #include/#define
+        # of the subset's headers are ignored.
+        if c == "#":
+            j = source.find("\n", i)
+            if j < 0:
+                j = n
+            text = source[i:j]
+            # Line continuations in pragmas.
+            while text.rstrip().endswith("\\") and j < n:
+                k = source.find("\n", j + 1)
+                if k < 0:
+                    k = n
+                text = text.rstrip().rstrip("\\") + " " + source[j + 1 : k]
+                line += 1
+                j = k
+            stripped = text[1:].strip()
+            if stripped.startswith("pragma"):
+                body = stripped[len("pragma") :].strip()
+                tokens.append(Token(PRAGMA, body, line, col))
+            # #include / #define etc. are silently dropped (host headers).
+            i = j
+            continue
+
+        # Identifiers / keywords.
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = KEYWORD if word in KEYWORDS else ID
+            tokens.append(Token(kind, word, line, col))
+            col += j - i
+            i = j
+            continue
+
+        # Numbers.
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    k = j + 1
+                    if k < n and source[k] in "+-":
+                        k += 1
+                    if k < n and source[k].isdigit():
+                        is_float = True
+                        j = k
+                        while j < n and source[j].isdigit():
+                            j += 1
+            # Suffixes.
+            while j < n and source[j] in "uUlLfF":
+                if source[j] in "fF":
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(FLOAT_LIT if is_float else INT_LIT, text, line, col))
+            col += j - i
+            i = j
+            continue
+
+        # String / char literals.
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise error("unterminated literal")
+            text = source[i : j + 1]
+            kind = STRING_LIT if quote == '"' else CHAR_LIT
+            tokens.append(Token(kind, text, line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+
+        # Punctuators.
+        for p in _PUNCTUATORS:
+            if source.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line, col))
+                col += len(p)
+                i += len(p)
+                break
+        else:
+            raise error(f"unexpected character {c!r}")
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

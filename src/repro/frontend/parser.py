@@ -1,0 +1,449 @@
+"""Recursive-descent parser for the C subset + OpenACC pragmas.
+
+The grammar covers the language the paper's benchmark programs need:
+scalar and array declarations (1-D/2-D), functions, ``for``/``while``/
+``if``/``return``/``break``/``continue``, the full C expression
+precedence ladder (assignment through primary, incl. ternary, casts,
+calls and multi-dimensional subscripts), and ``#pragma acc`` lines.
+
+Pragmas are attached to the statement that follows them, matching
+OpenACC's line-oriented association rules.
+"""
+
+from __future__ import annotations
+
+from . import cast as C
+from .lexer import (
+    CHAR_LIT,
+    EOF,
+    FLOAT_LIT,
+    ID,
+    INT_LIT,
+    KEYWORD,
+    PRAGMA,
+    PUNCT,
+    STRING_LIT,
+    Token,
+    tokenize,
+)
+
+_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "float", "double",
+                  "signed", "unsigned", "const", "restrict", "static"}
+
+_ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+               "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+# Binary precedence (higher binds tighter).
+_BINARY_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"parse error at {token.line}:{token.col}: {message} "
+                         f"(near {token.value!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind != EOF:
+            self.pos += 1
+        return t
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (value is None or t.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}", self.cur)
+        return self.advance()
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> C.Program:
+        prog = C.Program()
+        while not self.at(EOF):
+            if self.at(PRAGMA):
+                # Stray global pragma (e.g. once) -- not meaningful here.
+                self.advance()
+                continue
+            if not self._at_type():
+                raise ParseError("expected declaration or function", self.cur)
+            mark = self.pos
+            ctype = self._parse_type_specifiers()
+            name_tok = self.expect(ID)
+            if self.at(PUNCT, "("):
+                self.pos = mark
+                prog.functions.append(self._parse_function())
+            else:
+                self.pos = mark
+                for d in self._parse_declaration():
+                    prog.globals.append(d)
+        return prog
+
+    def _at_type(self) -> bool:
+        return self.cur.kind == KEYWORD and self.cur.value in _TYPE_KEYWORDS
+
+    def _parse_type_specifiers(self) -> C.CType:
+        """Base type + qualifiers (no declarator part)."""
+        const = False
+        unsigned = False
+        parts: list[str] = []
+        line = self.cur.line
+        while self.cur.kind == KEYWORD and self.cur.value in _TYPE_KEYWORDS:
+            w = self.advance().value
+            if w == "const":
+                const = True
+            elif w in ("restrict", "signed", "static"):
+                pass
+            elif w == "unsigned":
+                unsigned = True
+            else:
+                parts.append(w)
+        if not parts and not unsigned:
+            raise ParseError("expected type name", self.cur)
+        if not parts:
+            base = "int"
+        elif parts == ["long", "long"]:
+            base = "long"
+        elif parts == ["short"]:
+            base = "int"
+        else:
+            base = parts[0]
+        if unsigned:
+            base = {"int": "unsigned int", "long": "unsigned long",
+                    "char": "char"}.get(base, base)
+        return C.CType(base, const=const)
+
+    def _parse_declarator(self, base: C.CType) -> tuple[str, C.CType, int]:
+        """Pointer stars + name + array dims; returns (name, type, line)."""
+        pointers = 0
+        while self.accept(PUNCT, "*"):
+            pointers += 1
+            self.accept(KEYWORD, "restrict")
+            self.accept(KEYWORD, "const")
+        name_tok = self.expect(ID)
+        dims: list[C.Expr | None] = []
+        while self.accept(PUNCT, "["):
+            if self.at(PUNCT, "]"):
+                dims.append(None)
+            else:
+                dims.append(self.parse_expression())
+            self.expect(PUNCT, "]")
+        ctype = C.CType(base.base, pointers, tuple(dims), base.const)
+        return name_tok.value, ctype, name_tok.line
+
+    def _parse_declaration(self) -> list[C.Decl]:
+        """``type declarator (= init)? (, declarator (= init)?)* ;``"""
+        base = self._parse_type_specifiers()
+        decls: list[C.Decl] = []
+        while True:
+            name, ctype, line = self._parse_declarator(base)
+            init = None
+            if self.accept(PUNCT, "="):
+                init = self.parse_assignment()
+            decls.append(C.Decl(name=name, ctype=ctype, init=init, line=line))
+            if not self.accept(PUNCT, ","):
+                break
+        self.expect(PUNCT, ";")
+        return decls
+
+    def _parse_function(self) -> C.FunctionDef:
+        rtype = self._parse_type_specifiers()
+        # Return-type pointers.
+        pointers = 0
+        while self.accept(PUNCT, "*"):
+            pointers += 1
+        rtype = C.CType(rtype.base, pointers, (), rtype.const)
+        name_tok = self.expect(ID)
+        self.expect(PUNCT, "(")
+        params: list[C.Param] = []
+        if not self.at(PUNCT, ")"):
+            if self.at(KEYWORD, "void") and self.peek().value == ")":
+                self.advance()
+            else:
+                while True:
+                    pbase = self._parse_type_specifiers()
+                    pname, ptype, pline = self._parse_declarator(pbase)
+                    params.append(C.Param(pname, ptype, pline))
+                    if not self.accept(PUNCT, ","):
+                        break
+        self.expect(PUNCT, ")")
+        body = self.parse_compound()
+        return C.FunctionDef(
+            name=name_tok.value, return_type=rtype, params=params, body=body,
+            line=name_tok.line,
+        )
+
+    # -- statements ----------------------------------------------------------------
+
+    def _collect_pragmas(self) -> list:
+        """Consume consecutive pragma tokens, parsing ``acc`` ones."""
+        from .directives import parse_pragma  # late import: avoids cycle
+
+        directives = []
+        while self.at(PRAGMA):
+            tok = self.advance()
+            d = parse_pragma(tok.value, tok.line)
+            if d is not None:
+                directives.append(d)
+        return directives
+
+    def parse_statement(self) -> C.Stmt:
+        directives = self._collect_pragmas()
+        stmt = self._parse_statement_inner()
+        if directives:
+            stmt.directives = directives + stmt.directives
+        return stmt
+
+    def _parse_statement_inner(self) -> C.Stmt:
+        t = self.cur
+        if self.at(PUNCT, "{"):
+            return self.parse_compound()
+        if self._at_type():
+            decls = self._parse_declaration()
+            if len(decls) == 1:
+                return decls[0]
+            return C.Compound(body=list(decls), line=t.line)
+        if self.at(KEYWORD, "if"):
+            return self._parse_if()
+        if self.at(KEYWORD, "for"):
+            return self._parse_for()
+        if self.at(KEYWORD, "while"):
+            return self._parse_while()
+        if self.accept(KEYWORD, "return"):
+            value = None if self.at(PUNCT, ";") else self.parse_expression()
+            self.expect(PUNCT, ";")
+            return C.Return(value=value, line=t.line)
+        if self.accept(KEYWORD, "break"):
+            self.expect(PUNCT, ";")
+            return C.Break(line=t.line)
+        if self.accept(KEYWORD, "continue"):
+            self.expect(PUNCT, ";")
+            return C.Continue(line=t.line)
+        if self.accept(PUNCT, ";"):
+            return C.ExprStmt(expr=None, line=t.line)
+        expr = self.parse_expression()
+        self.expect(PUNCT, ";")
+        return C.ExprStmt(expr=expr, line=t.line)
+
+    def parse_compound(self) -> C.Compound:
+        open_tok = self.expect(PUNCT, "{")
+        body: list[C.Stmt] = []
+        while not self.at(PUNCT, "}"):
+            if self.at(EOF):
+                raise ParseError("unterminated block", self.cur)
+            body.append(self.parse_statement())
+        self.expect(PUNCT, "}")
+        return C.Compound(body=body, line=open_tok.line)
+
+    def _parse_if(self) -> C.If:
+        tok = self.expect(KEYWORD, "if")
+        self.expect(PUNCT, "(")
+        cond = self.parse_expression()
+        self.expect(PUNCT, ")")
+        then = self.parse_statement()
+        orelse = None
+        if self.accept(KEYWORD, "else"):
+            orelse = self.parse_statement()
+        return C.If(cond=cond, then=then, orelse=orelse, line=tok.line)
+
+    def _parse_for(self) -> C.For:
+        tok = self.expect(KEYWORD, "for")
+        self.expect(PUNCT, "(")
+        init: C.Stmt | None = None
+        if not self.at(PUNCT, ";"):
+            if self._at_type():
+                decls = self._parse_declaration()  # consumes ';'
+                init = decls[0] if len(decls) == 1 else C.Compound(body=list(decls))
+            else:
+                e = self.parse_expression()
+                self.expect(PUNCT, ";")
+                init = C.ExprStmt(expr=e, line=tok.line)
+        else:
+            self.expect(PUNCT, ";")
+        cond = None if self.at(PUNCT, ";") else self.parse_expression()
+        self.expect(PUNCT, ";")
+        step = None if self.at(PUNCT, ")") else self.parse_expression()
+        self.expect(PUNCT, ")")
+        body = self.parse_statement()
+        return C.For(init=init, cond=cond, step=step, body=body, line=tok.line)
+
+    def _parse_while(self) -> C.While:
+        tok = self.expect(KEYWORD, "while")
+        self.expect(PUNCT, "(")
+        cond = self.parse_expression()
+        self.expect(PUNCT, ")")
+        body = self.parse_statement()
+        return C.While(cond=cond, body=body, line=tok.line)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expression(self) -> C.Expr:
+        """Full expression including comma? Subset: no comma operator."""
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> C.Expr:
+        left = self.parse_ternary()
+        if self.cur.kind == PUNCT and self.cur.value in _ASSIGN_OPS:
+            op_tok = self.advance()
+            value = self.parse_assignment()
+            return C.Assign(target=left, value=value,
+                            op=_ASSIGN_OPS[op_tok.value], line=op_tok.line)
+        return left
+
+    def parse_ternary(self) -> C.Expr:
+        cond = self.parse_binary(1)
+        if self.accept(PUNCT, "?"):
+            then = self.parse_assignment()
+            self.expect(PUNCT, ":")
+            other = self.parse_ternary()
+            return C.Ternary(cond=cond, then=then, other=other)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> C.Expr:
+        left = self.parse_unary()
+        while True:
+            t = self.cur
+            prec = _BINARY_PREC.get(t.value) if t.kind == PUNCT else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_binary(prec + 1)
+            left = C.BinOp(op=t.value, left=left, right=right, line=t.line)
+
+    def parse_unary(self) -> C.Expr:
+        t = self.cur
+        if t.kind == PUNCT and t.value in ("-", "+", "!", "~", "*", "&"):
+            self.advance()
+            return C.UnOp(op=t.value, operand=self.parse_unary(), line=t.line)
+        if t.kind == PUNCT and t.value in ("++", "--"):
+            # Pre-inc/dec desugars to compound assignment.
+            self.advance()
+            operand = self.parse_unary()
+            return C.Assign(target=operand, value=C.IntLit(1, t.line),
+                            op=t.value[0], line=t.line)
+        if t.kind == KEYWORD and t.value == "sizeof":
+            self.advance()
+            self.expect(PUNCT, "(")
+            if self._at_type():
+                ctype = self._parse_type_specifiers()
+                while self.accept(PUNCT, "*"):
+                    ctype = C.CType(ctype.base, ctype.pointers + 1)
+                self.expect(PUNCT, ")")
+                size = 8 if ctype.pointers else ctype.itemsize()
+                return C.IntLit(size, t.line)
+            e = self.parse_expression()
+            self.expect(PUNCT, ")")
+            return C.Call(func="sizeof", args=[e], line=t.line)
+        # Cast: '(' type ')' unary
+        if t.kind == PUNCT and t.value == "(" and self.peek().kind == KEYWORD \
+                and self.peek().value in _TYPE_KEYWORDS:
+            self.advance()
+            ctype = self._parse_type_specifiers()
+            pointers = 0
+            while self.accept(PUNCT, "*"):
+                pointers += 1
+            ctype = C.CType(ctype.base, pointers)
+            self.expect(PUNCT, ")")
+            return C.CastExpr(to=ctype, operand=self.parse_unary(), line=t.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> C.Expr:
+        expr = self.parse_primary()
+        while True:
+            t = self.cur
+            if self.at(PUNCT, "["):
+                indices: list[C.Expr] = []
+                while self.accept(PUNCT, "["):
+                    indices.append(self.parse_expression())
+                    self.expect(PUNCT, "]")
+                expr = C.Index(array=expr, indices=indices, line=t.line)
+            elif self.at(PUNCT, "(") and isinstance(expr, C.Ident):
+                self.advance()
+                args: list[C.Expr] = []
+                if not self.at(PUNCT, ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(PUNCT, ","):
+                            break
+                self.expect(PUNCT, ")")
+                expr = C.Call(func=expr.name, args=args, line=t.line)
+            elif t.kind == PUNCT and t.value in ("++", "--"):
+                self.advance()
+                # Post-inc in expression statements behaves like pre-inc in
+                # the subset (value unused); desugar identically.
+                expr = C.Assign(target=expr, value=C.IntLit(1, t.line),
+                                op=t.value[0], line=t.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> C.Expr:
+        t = self.cur
+        if t.kind == INT_LIT:
+            self.advance()
+            text = t.value.rstrip("uUlL")
+            value = int(text, 16) if text.lower().startswith("0x") else int(text)
+            return C.IntLit(value, t.line)
+        if t.kind == FLOAT_LIT:
+            self.advance()
+            return C.FloatLit(float(t.value.rstrip("fFlL")), t.line)
+        if t.kind == ID:
+            self.advance()
+            return C.Ident(t.value, t.line)
+        if t.kind in (STRING_LIT, CHAR_LIT):
+            self.advance()
+            if t.kind == CHAR_LIT:
+                body = t.value[1:-1]
+                ch = {"\\n": "\n", "\\t": "\t", "\\0": "\0",
+                      "\\\\": "\\"}.get(body, body)
+                return C.IntLit(ord(ch), t.line)
+            # Strings only appear as printf-style arguments; keep the text.
+            return C.Ident(t.value, t.line)
+        if self.accept(PUNCT, "("):
+            e = self.parse_expression()
+            self.expect(PUNCT, ")")
+            return e
+        raise ParseError("expected expression", t)
+
+
+def parse(source: str) -> C.Program:
+    """Parse a full translation unit."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(text: str) -> C.Expr:
+    """Parse a standalone expression (used by directive clause parsing)."""
+    p = Parser(tokenize(text))
+    e = p.parse_expression()
+    if not p.at(EOF):
+        raise ParseError("trailing input after expression", p.cur)
+    return e

@@ -1,0 +1,95 @@
+"""Scoped symbol tables for the C subset.
+
+The translator needs to answer, for any identifier inside a parallel
+region: is it a host scalar (becomes a kernel argument), an array
+(becomes a device buffer), or a kernel-local declared inside the loop
+body (becomes private per iteration)?  The symbol table built here by a
+single pass over a function provides the types; the classification
+itself lives in :mod:`repro.frontend.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from . import cast as C
+
+
+class SymbolError(NameError):
+    pass
+
+
+@dataclass
+class Symbol:
+    name: str
+    ctype: C.CType
+    #: 'param' | 'local' | 'global'
+    storage: str
+    line: int = 0
+
+    @property
+    def is_array(self) -> bool:
+        return self.ctype.is_arraylike
+
+
+@dataclass
+class Scope:
+    parent: "Scope | None" = None
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def declare(self, sym: Symbol) -> Symbol:
+        existing = self.symbols.get(sym.name)
+        if existing is not None:
+            # Sibling-block re-declarations (e.g. ``int i`` in two separate
+            # for loops) are legal C; the flattened scope accepts them as
+            # long as the types agree.  Conflicting types would change the
+            # meaning of flattened name lookups, so they are rejected.
+            if (existing.ctype.base, existing.ctype.pointers,
+                    len(existing.ctype.array_dims)) != \
+                    (sym.ctype.base, sym.ctype.pointers,
+                     len(sym.ctype.array_dims)):
+                raise SymbolError(
+                    f"redeclaration of {sym.name!r} with a different type at "
+                    f"line {sym.line}")
+            return existing
+        self.symbols[sym.name] = sym
+        return sym
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self.symbols.values())
+
+
+def build_function_scope(func: C.FunctionDef,
+                         global_scope: Scope | None = None) -> Scope:
+    """Scope holding the function's params and *all* block-level locals.
+
+    The subset forbids shadowing (checked here), so flattening every
+    block's declarations into one scope is sound and makes later name
+    lookups trivial for the translator.
+    """
+    scope = Scope(parent=global_scope)
+    for p in func.params:
+        scope.declare(Symbol(p.name, p.ctype, "param", p.line))
+    for stmt in C.walk(func.body):
+        if isinstance(stmt, C.Decl):
+            scope.declare(Symbol(stmt.name, stmt.ctype, "local", stmt.line))
+    return scope
+
+
+def build_global_scope(program: C.Program) -> Scope:
+    scope = Scope()
+    for d in program.globals:
+        scope.declare(Symbol(d.name, d.ctype, "global", d.line))
+    return scope

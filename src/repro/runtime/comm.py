@@ -1,0 +1,268 @@
+"""Inter-GPU communication manager (paper section IV-D).
+
+Runs immediately after the kernels of one parallel loop and performs,
+with direct asynchronous GPU-to-GPU transfers:
+
+1. **Replicated arrays**: propagate writes to the other replicas.  The
+   sender scans only the second-level dirty bits and ships whole dirty
+   chunks (pricing); the values applied are the dirty *elements*
+   (functional), so disjoint writers on different GPUs merge correctly.
+2. **Distributed arrays**: route buffered write-miss records to the
+   owner GPU of each destination element and replay them there; then
+   refresh any halo copies that overlap a written primary block.
+3. **reductiontoarray destinations**: merge the per-GPU private copies
+   (tree reduction across GPUs) with the host's initial values and
+   broadcast the result.
+
+All queued transfers are synchronized once per phase; the elapsed time
+lands in the ``GPU-GPU`` profiler bucket that Fig. 8 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..translator import kernel_support as ks
+from ..translator.array_config import ArrayConfig, Placement, WriteHandling
+from ..vcuda.api import Platform
+from ..vcuda.bus import CATEGORY_GPU_GPU
+from .data_loader import DataLoader, ManagedArray
+from .partition import owner_of
+from .writemiss import RECORD_BYTES
+
+
+class CommError(RuntimeError):
+    pass
+
+
+class CommunicationManager:
+    """Executes the post-kernel coherence step for one loop."""
+
+    def __init__(self, platform: Platform, loader: DataLoader,
+                 tree_reduction: bool = True) -> None:
+        self.platform = platform
+        self.loader = loader
+        #: Merge reduction partials with a binary tree (log G rounds of
+        #: concurrent pairwise transfers) rather than a flat gather to
+        #: GPU 0 -- the inter-GPU level of the paper's hierarchical
+        #: reduction.  The flat variant is kept for the ablation.
+        self.tree_reduction = tree_reduction
+        #: Telemetry: bytes shipped per mechanism (tests/benchmarks).
+        self.bytes_replica = 0
+        self.bytes_miss = 0
+        self.bytes_halo = 0
+        self.bytes_reduction = 0
+
+    # -- top level -----------------------------------------------------------------
+
+    def after_kernels(self, configs: dict[str, ArrayConfig],
+                      host_env: dict[str, Any] | None = None) -> float:
+        """Run the full coherence step; returns GPU-GPU seconds elapsed."""
+        for name, cfg in configs.items():
+            ma = self.loader._get(name)
+            if cfg.write_handling == WriteHandling.DIRTY_BITS:
+                self._propagate_replica(ma)
+            elif cfg.write_handling in (WriteHandling.MISS_CHECK,
+                                        WriteHandling.LOCAL_PROVEN):
+                if cfg.write_handling == WriteHandling.MISS_CHECK:
+                    self._route_misses(ma)
+                self._refresh_halos(ma)
+            elif cfg.write_handling == WriteHandling.REDUCTION:
+                self._merge_reduction(ma, cfg)
+            if cfg.written:
+                ma.device_ahead = cfg.write_handling != WriteHandling.REDUCTION
+        if self.platform.bus.pending_count():
+            return self.platform.bus.sync(CATEGORY_GPU_GPU)
+        return 0.0
+
+    # -- replicated arrays ------------------------------------------------------------
+
+    def _propagate_replica(self, ma: ManagedArray) -> None:
+        ngpus = self.platform.ngpus
+        if ngpus == 1:
+            tracker = ma.dirty[0]
+            if tracker is not None:
+                tracker.clear()
+            return
+        updates = []
+        for g in range(ngpus):
+            tracker = ma.dirty[g]
+            if tracker is None or not tracker.any_dirty:
+                continue
+            idx = tracker.dirty_elements()
+            buf = ma.buffers[g]
+            assert buf is not None
+            vals = buf.data[idx].copy()
+            # One DMA per dirty chunk (the sender scans only the
+            # second-level bits, so the transfer unit is the chunk): the
+            # per-transfer latency is what makes very small chunks lose
+            # and very large chunks ship mostly-clean data -- the
+            # trade-off behind the paper's experimentally-chosen 1 MB.
+            chunk_sizes = []
+            epc = tracker.elems_per_chunk
+            for c in tracker.dirty_chunks():
+                lo = int(c) * epc
+                hi = min(lo + epc, tracker.n_elements)
+                chunk_sizes.append((hi - lo) * tracker.itemsize)
+            updates.append((g, idx, vals, chunk_sizes))
+        for g, idx, vals, chunk_sizes in updates:
+            for t in range(ngpus):
+                if t == g or ma.buffers[t] is None:
+                    continue
+                ma.buffers[t].data[idx] = vals
+                for nbytes in chunk_sizes:
+                    self.platform.bus.p2p(g, t, nbytes)
+                    self.bytes_replica += nbytes
+        for g in range(ngpus):
+            if ma.dirty[g] is not None:
+                ma.dirty[g].clear()
+
+    # -- distributed arrays --------------------------------------------------------------
+
+    def _route_misses(self, ma: ManagedArray) -> None:
+        ngpus = self.platform.ngpus
+        for g in range(ngpus):
+            buf = ma.miss[g]
+            if buf is None or buf.count == 0:
+                continue
+            per_target_bytes = [0] * ngpus
+            for addrs, vals, op in buf.drain():
+                owners = owner_of(addrs, ma.primary)
+                for t in np.unique(owners):
+                    t = int(t)
+                    sel = owners == t
+                    if t == g:
+                        raise CommError(
+                            f"write miss on {ma.name!r} routed to its own "
+                            "GPU: window/ownership inconsistency")
+                    tgt = ma.buffers[t]
+                    if tgt is None:
+                        raise CommError(
+                            f"no resident block for {ma.name!r} on GPU {t}")
+                    local = addrs[sel] - ma.blocks[t].lo
+                    v = vals[sel] if isinstance(vals, np.ndarray) and vals.shape else vals
+                    ks.store(tgt.data, local, v, op)
+                    per_target_bytes[t] += int(sel.sum()) * RECORD_BYTES
+            for t, nbytes in enumerate(per_target_bytes):
+                if nbytes:
+                    self.platform.bus.p2p(g, t, nbytes)
+                    self.bytes_miss += nbytes
+
+    def _refresh_halos(self, ma: ManagedArray) -> None:
+        """Owner blocks changed: update overlapping copies on other GPUs."""
+        ngpus = self.platform.ngpus
+        for g in range(ngpus):
+            src = ma.buffers[g]
+            if src is None:
+                continue
+            prim = ma.primary[g].intersect(ma.blocks[g])
+            if prim.size == 0:
+                continue
+            for t in range(ngpus):
+                if t == g or ma.buffers[t] is None:
+                    continue
+                ov = prim.intersect(ma.blocks[t])
+                if ov.size == 0:
+                    continue
+                src_lo = ov.lo - ma.blocks[g].lo
+                dst_lo = ov.lo - ma.blocks[t].lo
+                np.copyto(ma.buffers[t].data[dst_lo:dst_lo + ov.size],
+                          src.data[src_lo:src_lo + ov.size])
+                nbytes = ov.size * ma.itemsize
+                self.platform.bus.p2p(g, t, nbytes)
+                self.bytes_halo += nbytes
+
+    # -- reduction destinations ------------------------------------------------------------
+
+    def _merge_reduction(self, ma: ManagedArray, cfg: ArrayConfig) -> None:
+        """Hierarchical reduction, final (inter-GPU) level (section IV-B4).
+
+        Partial results live in each GPU's private copy.  With
+        ``tree_reduction`` (the default) they merge in ``log2(G)``
+        rounds of *concurrent* pairwise transfers (disjoint GPU pairs
+        use disjoint links); the flat variant gathers everything to
+        GPU 0 through its single link.  Either way the combined result
+        (including the host's initial values) is broadcast back.
+        """
+        op = cfg.reduction_op or "+"
+        ngpus = self.platform.ngpus
+        alive = [g for g in range(ngpus) if ma.buffers[g] is not None]
+        nbytes = ma.length * ma.itemsize
+        if len(alive) > 1:
+            if self.tree_reduction:
+                stride = 1
+                while stride < len(alive):
+                    for k in range(0, len(alive) - stride, 2 * stride):
+                        src = alive[k + stride]
+                        dst = alive[k]
+                        self.platform.bus.p2p(src, dst, nbytes)
+                        self.bytes_reduction += nbytes
+                        np.copyto(
+                            ma.buffers[dst].data,
+                            _combine(op, ma.buffers[dst].data,
+                                     ma.buffers[src].data))
+                    stride *= 2
+            else:
+                root = alive[0]
+                for g in alive[1:]:
+                    self.platform.bus.p2p(g, root, nbytes)
+                    self.bytes_reduction += nbytes
+                    np.copyto(
+                        ma.buffers[root].data,
+                        _combine(op, ma.buffers[root].data,
+                                 ma.buffers[g].data))
+        merged = _combine(op, np.asarray(ma.host).copy(),
+                          ma.buffers[alive[0]].data) if alive else \
+            np.asarray(ma.host).copy()
+        np.copyto(ma.host, merged.astype(ma.host.dtype, copy=False))
+        np.copyto(ma.staging, ma.host)
+        # Broadcast the final values back (reverse tree / flat fan-out).
+        for g in alive:
+            np.copyto(ma.buffers[g].data, ma.host)
+        if len(alive) > 1:
+            if self.tree_reduction:
+                stride = 1
+                levels: list[list[tuple[int, int]]] = []
+                while stride < len(alive):
+                    level = []
+                    for k in range(0, len(alive) - stride, 2 * stride):
+                        level.append((alive[k], alive[k + stride]))
+                    levels.append(level)
+                    stride *= 2
+                for level in reversed(levels):
+                    for src, dst in level:
+                        self.platform.bus.p2p(src, dst, nbytes)
+                        self.bytes_reduction += nbytes
+            else:
+                root = alive[0]
+                for g in alive[1:]:
+                    self.platform.bus.p2p(root, g, nbytes)
+                    self.bytes_reduction += nbytes
+        ma.device_ahead = False
+        ma.materialized = True
+        # The buffers now hold a coherent full replica of the merged data,
+        # so a follow-up loop reading this array replica-placed skips the
+        # reload entirely.
+        ma.placement = Placement.REPLICA
+        ma.signature = (Placement.REPLICA,
+                        tuple((0, ma.length) for _ in range(ngpus)), False)
+
+
+def _combine(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if op == "+":
+        return a + b
+    if op == "*":
+        return a * b
+    if op == "max":
+        return np.maximum(a, b)
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    raise CommError(f"unsupported reduction combine op {op!r}")

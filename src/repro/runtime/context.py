@@ -1,0 +1,170 @@
+"""Execution context: runs one compiled parallel loop on the platform.
+
+Implements the paper's three BSP steps (section III-A) for every
+parallel loop:
+
+1. **Map**: split the iteration space into equal blocks, one per GPU,
+   and have the data loader make every array resident under its
+   placement policy (``CPU-GPU`` time).
+2. **Compute**: run the kernel on each GPU's slice; launches on
+   different GPUs overlap, and each launch is priced by the static cost
+   model combined with the dynamic trip counts the kernel reported
+   (``KERNELS`` time).
+3. **Communicate**: the inter-GPU communication manager propagates
+   replica writes, routes write misses, refreshes halos and merges
+   reductions (``GPU-GPU`` time); scalar reductions finalize into the
+   host environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from ..translator.array_config import LoopConfig, WriteHandling
+from ..translator.cost import KernelCostInfo
+from ..vcuda.api import Platform
+from ..vcuda.device import LaunchConfig
+from .comm import CommunicationManager
+from .data_loader import DataLoader
+from .kernelctx import KernelContext
+from .reduction_rt import finalize_scalar_reductions
+
+
+class KernelPlanLike(Protocol):
+    """What the executor needs from a compiled kernel plan."""
+
+    name: str
+    config: LoopConfig
+    loop_var: str
+    scalar_names: list[str]
+    cost: KernelCostInfo
+    block_dim: int | None
+    max_gangs: int | None
+
+    def execute(self, ctx: KernelContext, engine: str) -> None: ...
+
+
+@dataclass
+class LoopRunStats:
+    """Telemetry of one parallel-loop execution (tests/benchmarks)."""
+
+    kernel_name: str = ""
+    tasks: list[tuple[int, int]] = field(default_factory=list)
+    kernel_seconds: float = 0.0
+    load_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    dyn_counts: list[dict[str, int]] = field(default_factory=list)
+
+
+class AccExecutor:
+    """Multi-GPU executor bound to one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        loader: DataLoader | None = None,
+        engine: str = "vector",
+        tree_reduction: bool = True,
+    ) -> None:
+        if engine not in ("vector", "interp"):
+            raise ValueError("engine must be 'vector' or 'interp'")
+        self.platform = platform
+        self.loader = loader or DataLoader(platform)
+        self.comm = CommunicationManager(platform, self.loader,
+                                         tree_reduction=tree_reduction)
+        self.engine = engine
+        self.history: list[LoopRunStats] = []
+
+    # -- main entry ------------------------------------------------------------
+
+    def run_loop(
+        self,
+        plan: KernelPlanLike,
+        lower: int,
+        upper: int,
+        host_env: dict[str, Any],
+    ) -> LoopRunStats:
+        from ..runtime.partition import split_tasks
+
+        stats = LoopRunStats(kernel_name=plan.name)
+        tasks = split_tasks(lower, upper, self.platform.ngpus)
+        stats.tasks = tasks
+
+        scalars = {}
+        for n in plan.scalar_names:
+            if n not in host_env:
+                raise KeyError(
+                    f"kernel {plan.name!r} needs host scalar {n!r} which is "
+                    "not defined")
+            scalars[n] = host_env[n]
+
+        # Step 1: mapping + loading.
+        self.loader.ensure_for_loop(plan.config.arrays, tasks,
+                                    plan.loop_var, dict(host_env))
+        if self.platform.bus.pending_count():
+            stats.load_seconds = self.platform.bus.sync()
+
+        # Step 2: compute.
+        contexts: list[KernelContext] = []
+        for g, (t0, t1) in enumerate(tasks):
+            ctx = self._make_context(g, t0, t1, plan, scalars)
+            contexts.append(ctx)
+            plan.execute(ctx, self.engine)
+            n = max(0, t1 - t0)
+            work = plan.cost.total(n, ctx.dyn_counts)
+            block = getattr(plan, "block_dim", None) or 256
+            cfg = LaunchConfig.for_tasks(n, block_dim=block)
+            max_gangs = getattr(plan, "max_gangs", None)
+            if max_gangs is not None:
+                cfg = LaunchConfig(grid_dim=min(cfg.grid_dim, max_gangs),
+                                   block_dim=cfg.block_dim)
+            dev = self.platform.devices[g]
+            seconds = dev.kernel_time(work, cfg) if n > 0 else 0.0
+            if n > 0:
+                start = max(dev.busy_until, self.platform.clock.now)
+                rec = dev.record_launch(plan.name, work, cfg, seconds)
+                rec.start = start
+                dev.busy_until = start + seconds
+        stats.kernel_seconds = self.platform.sync_devices()
+        stats.dyn_counts = [dict(c.dyn_counts) for c in contexts]
+
+        # Step 3: communicate.
+        stats.comm_seconds = self.comm.after_kernels(plan.config.arrays)
+        finalize_scalar_reductions(
+            self.platform,
+            [c.scalar_results for c in contexts],
+            [c.scalar_ops for c in contexts],
+            host_env,
+        )
+        self.history.append(stats)
+        return stats
+
+    # -- context construction ------------------------------------------------------
+
+    def _make_context(self, g: int, t0: int, t1: int,
+                      plan: KernelPlanLike, scalars: dict[str, Any]) -> KernelContext:
+        ctx = KernelContext(device_index=g, i0=t0, i1=t1, scalars=dict(scalars))
+        for name, cfg in plan.config.arrays.items():
+            ma = self.loader._get(name)
+            buf = ma.buffers[g]
+            if buf is None:
+                ctx.arrays[name] = np.empty(0, dtype=ma.host.dtype)
+                ctx.base[name] = 0
+            else:
+                ctx.arrays[name] = buf.data
+                ctx.base[name] = ma.blocks[g].lo
+            if cfg.write_handling == WriteHandling.DIRTY_BITS:
+                tracker = ma.dirty[g]
+                assert tracker is not None
+                ctx.dirty[name] = tracker
+            elif cfg.write_handling == WriteHandling.MISS_CHECK:
+                ctx.windows[name] = ma.blocks[g]
+                buf_m = ma.miss[g]
+                assert buf_m is not None
+                ctx.miss[name] = buf_m
+            if cfg.write_handling == WriteHandling.REDUCTION:
+                ctx.reduction_arrays[name] = ctx.arrays[name]
+        return ctx

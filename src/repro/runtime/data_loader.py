@@ -1,0 +1,328 @@
+"""The data loader (paper section IV-C).
+
+Guarantees OpenACC data semantics while transparently managing several
+GPU memories.  Two placement policies:
+
+* **replica-based** (default, arrays without ``localaccess``): the full
+  array is copied to every GPU;
+* **distribution-based** (arrays with ``localaccess``): each GPU gets
+  only the block its task slice can read -- the evaluated read window,
+  which includes any halo the directive declares.
+
+The loader is invoked at data-region boundaries, at ``update``
+directives, and before *every* kernel call.  It skips the reload when
+the required placement equals what is already resident and valid --
+the paper's optimization for iterative algorithms, where the same
+parallel loop runs many times over unchanged windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..translator.array_config import ArrayConfig, Placement, WriteHandling
+from ..translator.kernel_support import red_identity
+from ..vcuda.api import Platform
+from ..vcuda.memory import DeviceBuffer, PURPOSE_USER
+from .dirty import DEFAULT_CHUNK_BYTES, TwoLevelDirty
+from .partition import (
+    Block,
+    make_window_evaluator,
+    primary_blocks,
+    window_for_tasks,
+)
+from .writemiss import WriteMissBuffer
+
+
+class DataEnvironmentError(RuntimeError):
+    pass
+
+
+@dataclass
+class ManagedArray:
+    """Device-side state of one host array inside a data region."""
+
+    name: str
+    host: np.ndarray
+    #: Device-visible image of the host array, captured at region entry
+    #: (OpenACC transfers at the region boundary; loads are deferred to
+    #: kernel time here, so the image preserves entry-time snapshot
+    #: semantics against later host writes).  ``update device`` refreshes
+    #: it; writebacks keep it coherent with the host copy.
+    staging: np.ndarray = None  # type: ignore[assignment]
+    #: Transfer on region entry / before first use (copy, copyin).
+    transfer_in: bool = True
+    #: Transfer back on region exit (copy, copyout).
+    transfer_out: bool = True
+    placement: Placement | None = None
+    buffers: list[DeviceBuffer | None] = field(default_factory=list)
+    blocks: list[Block] = field(default_factory=list)
+    primary: list[Block] = field(default_factory=list)
+    valid: bool = False
+    #: Device copies hold newer data than the host copy.
+    device_ahead: bool = False
+    #: Load signature for reload skipping.
+    signature: tuple | None = None
+    dirty: list[TwoLevelDirty | None] = field(default_factory=list)
+    miss: list[WriteMissBuffer | None] = field(default_factory=list)
+    #: Set while the array is a reductiontoarray destination.
+    reduction_identity: Any | None = None
+    #: True once device-side writes were gathered back to the host: from
+    #: then on the host copy is meaningful data even for 'create' arrays,
+    #: so reloads must be priced as real transfers.
+    materialized: bool = False
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.host.dtype.itemsize)
+
+    @property
+    def length(self) -> int:
+        return int(self.host.shape[0])
+
+
+class DataLoader:
+    """Owns all :class:`ManagedArray` state for one execution context."""
+
+    def __init__(self, platform: Platform,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 reload_skipping: bool = True) -> None:
+        self.platform = platform
+        self.chunk_bytes = chunk_bytes
+        self.reload_skipping = reload_skipping
+        self.arrays: dict[str, ManagedArray] = {}
+        self._region_stack: list[list[str]] = []
+        #: Loader telemetry (ablation benchmarks read these).
+        self.loads = 0
+        self.reloads_skipped = 0
+
+    # -- region management -------------------------------------------------------
+
+    def enter_region(self, sections: list[tuple[str, np.ndarray, str]]) -> None:
+        """Open a data region; ``sections`` = (name, host array, clause kind)."""
+        names: list[str] = []
+        for name, host, kind in sections:
+            if name in self.arrays:
+                raise DataEnvironmentError(
+                    f"array {name!r} is already present in an enclosing data "
+                    "region")
+            if host.ndim != 1:
+                raise DataEnvironmentError(
+                    f"device array {name!r} must be 1-D (linearize "
+                    "multi-dimensional data; paper section VI)")
+            ma = ManagedArray(
+                name=name,
+                host=host,
+                staging=host.copy(),
+                transfer_in=kind in ("copy", "copyin"),
+                transfer_out=kind in ("copy", "copyout"),
+            )
+            ngpus = self.platform.ngpus
+            ma.buffers = [None] * ngpus
+            ma.blocks = [Block(0, 0)] * ngpus
+            ma.primary = [Block(0, 0)] * ngpus
+            ma.dirty = [None] * ngpus
+            ma.miss = [None] * ngpus
+            self.arrays[name] = ma
+            names.append(name)
+        self._region_stack.append(names)
+
+    def exit_region(self) -> None:
+        if not self._region_stack:
+            raise DataEnvironmentError("data region exit without entry")
+        names = self._region_stack.pop()
+        for name in names:
+            ma = self.arrays.pop(name)
+            if ma.transfer_out and ma.device_ahead:
+                self._writeback(ma)
+            self._release(ma)
+        if self.platform.bus.pending_count():
+            self.platform.bus.sync()
+
+    def update_host(self, names: list[str]) -> None:
+        """``#pragma acc update host(...)``: device -> host now."""
+        for name in names:
+            ma = self._get(name)
+            if ma.device_ahead:
+                self._writeback(ma)
+        if self.platform.bus.pending_count():
+            self.platform.bus.sync()
+
+    def update_device(self, names: list[str]) -> None:
+        """``#pragma acc update device(...)``: host -> device now."""
+        for name in names:
+            ma = self._get(name)
+            ma.device_ahead = False
+            np.copyto(ma.staging, ma.host)
+            if ma.valid and ma.placement is not None:
+                # Eagerly refresh the resident blocks.
+                for g, buf in enumerate(ma.buffers):
+                    if buf is not None and ma.blocks[g].size:
+                        blk = ma.blocks[g]
+                        np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
+                        self.platform.bus.h2d(g, blk.size * ma.itemsize)
+            else:
+                ma.valid = False
+        if self.platform.bus.pending_count():
+            self.platform.bus.sync()
+
+    def _get(self, name: str) -> ManagedArray:
+        ma = self.arrays.get(name)
+        if ma is None:
+            raise DataEnvironmentError(
+                f"array {name!r} is not present in any data region")
+        return ma
+
+    # -- per-kernel loading --------------------------------------------------------
+
+    def ensure_for_loop(
+        self,
+        configs: dict[str, ArrayConfig],
+        tasks: list[tuple[int, int]],
+        loop_var: str,
+        host_scalars: dict[str, Any],
+    ) -> None:
+        """Make every array of the loop resident with the right placement.
+
+        Called before every kernel launch set.  All H2D transfers are
+        queued asynchronously and synchronized once (``CPU-GPU`` time).
+        """
+        host_arrays = {n: m.host for n, m in self.arrays.items()}
+        evaluate = None
+        for name, cfg in configs.items():
+            ma = self._get(name)
+            ngpus = self.platform.ngpus
+            if cfg.write_handling == WriteHandling.REDUCTION:
+                placement = Placement.REPLICA
+                blocks = [Block(0, ma.length)] * ngpus
+                identity = red_identity(cfg.reduction_op or "+")
+            else:
+                identity = None
+                placement = cfg.placement
+                if placement == Placement.DISTRIBUTED:
+                    assert cfg.window is not None
+                    if evaluate is None:
+                        evaluate = make_window_evaluator(
+                            loop_var, host_scalars, host_arrays)
+                    blocks = [
+                        window_for_tasks(cfg.window, t, ma.length, evaluate)
+                        for t in tasks
+                    ]
+                else:
+                    blocks = [Block(0, ma.length)] * ngpus
+            signature = (placement, tuple((b.lo, b.hi) for b in blocks),
+                         identity is not None)
+            if (self.reload_skipping and ma.valid and ma.signature == signature
+                    and identity is None):
+                self.reloads_skipped += 1
+            else:
+                self._load(ma, placement, blocks, signature, identity)
+            # (Re)wire write-side system structures for this loop.
+            self._prepare_write_side(ma, cfg)
+
+    def _load(self, ma: ManagedArray, placement: Placement,
+              blocks: list[Block], signature: tuple, identity: Any) -> None:
+        if ma.device_ahead:
+            # The device holds the newest data under a different layout:
+            # gather it home before re-placing (costs D2H on the bus).
+            self._writeback(ma)
+            self.platform.bus.sync()
+        self._release_buffers(ma)
+        ngpus = self.platform.ngpus
+        for g in range(ngpus):
+            blk = blocks[g]
+            if blk.size == 0:
+                ma.buffers[g] = None
+                continue
+            buf = self.platform.malloc(
+                g, ma.name, blk.size, ma.host.dtype,
+                purpose=PURPOSE_USER, base=blk.lo)
+            if identity is not None:
+                # Reduction destinations start at the operator identity on
+                # the device: no H2D transfer at all.
+                buf.data.fill(identity)
+            else:
+                np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
+                if ma.transfer_in or ma.materialized:
+                    self.platform.bus.h2d(g, blk.size * ma.itemsize)
+            ma.buffers[g] = buf
+        ma.blocks = list(blocks)
+        ma.primary = primary_blocks(blocks, ma.length)
+        ma.placement = placement
+        ma.signature = signature
+        ma.valid = True
+        self.loads += 1
+
+    def _prepare_write_side(self, ma: ManagedArray, cfg: ArrayConfig) -> None:
+        ngpus = self.platform.ngpus
+        ma.reduction_identity = None
+        if cfg.write_handling == WriteHandling.DIRTY_BITS:
+            for g in range(ngpus):
+                if ma.dirty[g] is None:
+                    ma.dirty[g] = TwoLevelDirty(
+                        ma.name, ma.length, ma.itemsize,
+                        memory=self.platform.devices[g].memory,
+                        chunk_bytes=self.chunk_bytes)
+        elif cfg.write_handling == WriteHandling.MISS_CHECK:
+            capacity = max(1024, ma.length // 10)
+            for g in range(ngpus):
+                if ma.miss[g] is None:
+                    ma.miss[g] = WriteMissBuffer(
+                        ma.name, capacity,
+                        memory=self.platform.devices[g].memory)
+        elif cfg.write_handling == WriteHandling.REDUCTION:
+            ma.reduction_identity = red_identity(cfg.reduction_op or "+")
+
+    # -- data movement helpers ---------------------------------------------------------
+
+    def _writeback(self, ma: ManagedArray) -> None:
+        """Device -> host for the freshest copy of each element."""
+        if not ma.valid or ma.placement is None:
+            ma.device_ahead = False
+            return
+        if ma.placement == Placement.REPLICA:
+            # Replicas are coherent after the communication step; GPU 0
+            # (or the first resident copy) is authoritative.
+            for g, buf in enumerate(ma.buffers):
+                if buf is not None:
+                    blk = ma.blocks[g]
+                    np.copyto(ma.host[blk.lo:blk.hi], buf.data)
+                    np.copyto(ma.staging[blk.lo:blk.hi], buf.data)
+                    self.platform.bus.d2h(g, blk.size * ma.itemsize)
+                    break
+        else:
+            for g, buf in enumerate(ma.buffers):
+                if buf is None:
+                    continue
+                prim = ma.primary[g].intersect(ma.blocks[g])
+                if prim.size == 0:
+                    continue
+                lo = prim.lo - ma.blocks[g].lo
+                np.copyto(ma.host[prim.lo:prim.hi],
+                          buf.data[lo:lo + prim.size])
+                np.copyto(ma.staging[prim.lo:prim.hi],
+                          buf.data[lo:lo + prim.size])
+                self.platform.bus.d2h(g, prim.size * ma.itemsize)
+        ma.device_ahead = False
+        ma.materialized = True
+
+    def _release_buffers(self, ma: ManagedArray) -> None:
+        for g, buf in enumerate(ma.buffers):
+            if buf is not None:
+                self.platform.devices[g].memory.free(buf)
+                ma.buffers[g] = None
+        ma.valid = False
+        ma.signature = None
+
+    def _release(self, ma: ManagedArray) -> None:
+        self._release_buffers(ma)
+        for g in range(self.platform.ngpus):
+            if ma.dirty[g] is not None:
+                ma.dirty[g].release(self.platform.devices[g].memory)
+                ma.dirty[g] = None
+            if ma.miss[g] is not None:
+                ma.miss[g].release()
+                ma.miss[g] = None

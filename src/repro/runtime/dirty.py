@@ -1,0 +1,138 @@
+"""Two-level dirty-bit tracking for replicated arrays (section IV-D1).
+
+Each GPU keeps, per written replicated array, one dirty flag per
+element plus a second-level flag per fixed-size *chunk*.  The kernel
+instrumentation sets both on every store; after the kernel the
+communication manager transfers only the chunks whose second-level bit
+is set -- with a clean single-level scheme it would have to ship the
+whole array because scanning the element bits on the sender is itself
+expensive, which is exactly the problem the paper's two-level design
+avoids.
+
+The paper picks 1 MB chunks experimentally; :data:`DEFAULT_CHUNK_BYTES`
+matches, and the ablation benchmark sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vcuda.memory import DeviceMemory, PURPOSE_SYSTEM
+
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+
+@dataclass
+class DirtyStats:
+    """Telemetry for tests and the chunk-size ablation."""
+
+    marks: int = 0
+    elements_dirty: int = 0
+
+
+class TwoLevelDirty:
+    """Dirty bits for one replicated array on one GPU."""
+
+    def __init__(
+        self,
+        name: str,
+        n_elements: int,
+        itemsize: int,
+        memory: DeviceMemory | None = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        if n_elements < 0:
+            raise ValueError("element count must be non-negative")
+        if chunk_bytes < itemsize:
+            raise ValueError("chunk must hold at least one element")
+        self.name = name
+        self.n_elements = n_elements
+        self.itemsize = itemsize
+        self.chunk_bytes = chunk_bytes
+        self.elems_per_chunk = max(1, chunk_bytes // itemsize)
+        self.n_chunks = max(1, -(-n_elements // self.elems_per_chunk)) if n_elements else 0
+        self.stats = DirtyStats()
+        self._bufs = []
+        if memory is not None:
+            # Account the bit arrays as runtime ("System") device memory.
+            self._bufs.append(memory.alloc(
+                f"dirty:{name}", n_elements, np.uint8,
+                purpose=PURPOSE_SYSTEM, fill=0))
+            self._bufs.append(memory.alloc(
+                f"dirty2:{name}", max(1, self.n_chunks), np.uint8,
+                purpose=PURPOSE_SYSTEM, fill=0))
+            self.element_bits = self._bufs[0].data
+            self.chunk_bits = self._bufs[1].data
+        else:
+            self.element_bits = np.zeros(n_elements, dtype=np.uint8)
+            self.chunk_bits = np.zeros(max(1, self.n_chunks), dtype=np.uint8)
+
+    # -- kernel-side operations ------------------------------------------------
+
+    def mark(self, indices: np.ndarray) -> None:
+        """Set element + chunk bits for ``indices`` (global positions)."""
+        if np.ndim(indices) == 0:
+            indices = np.array([indices], dtype=np.int64)
+        if indices.size == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.n_elements:
+            raise IndexError(
+                f"dirty mark outside array {self.name!r}: "
+                f"[{indices.min()}, {indices.max()}] vs {self.n_elements}")
+        self.element_bits[indices] = 1
+        self.chunk_bits[indices // self.elems_per_chunk] = 1
+        self.stats.marks += int(indices.size)
+
+    # -- manager-side operations ------------------------------------------------
+
+    @property
+    def any_dirty(self) -> bool:
+        return bool(self.chunk_bits.any())
+
+    def dirty_chunks(self) -> np.ndarray:
+        """Second-level scan: indices of chunks holding any dirty element."""
+        return np.nonzero(self.chunk_bits)[0]
+
+    def dirty_elements(self) -> np.ndarray:
+        """Global indices of dirty elements (scans only dirty chunks)."""
+        chunks = self.dirty_chunks()
+        if chunks.size == 0:
+            return np.empty(0, dtype=np.int64)
+        out = []
+        for c in chunks:
+            lo = int(c) * self.elems_per_chunk
+            hi = min(lo + self.elems_per_chunk, self.n_elements)
+            local = np.nonzero(self.element_bits[lo:hi])[0]
+            if local.size:
+                out.append(local + lo)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def transfer_bytes(self) -> int:
+        """Bytes the communication manager ships: whole dirty chunks.
+
+        The paper transfers at chunk granularity (scanning element bits
+        on the sender GPU is what the second level exists to avoid).
+        """
+        chunks = self.dirty_chunks()
+        if chunks.size == 0:
+            return 0
+        total = 0
+        for c in chunks:
+            lo = int(c) * self.elems_per_chunk
+            hi = min(lo + self.elems_per_chunk, self.n_elements)
+            total += (hi - lo) * self.itemsize
+        return total
+
+    def clear(self) -> None:
+        self.element_bits[:] = 0
+        self.chunk_bits[:] = 0
+
+    def release(self, memory: DeviceMemory) -> None:
+        """Free the device-resident bit arrays."""
+        for b in self._bufs:
+            memory.free(b)
+        self._bufs = []

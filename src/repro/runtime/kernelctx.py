@@ -1,0 +1,142 @@
+"""Per-launch kernel execution context.
+
+One :class:`KernelContext` is built per (kernel, GPU) launch.  It gives
+the kernel its iteration slice, buffer-local array views with their
+global base offsets (the translator's index rewriting target), host
+scalar values, and the instrumentation endpoints the generated code
+calls: dirty-bit marking, checked distributed writes with miss
+buffering, reduction-to-array accumulation, scalar-reduction partials,
+and dynamic trip-count reporting for the cost model.
+
+Both engines -- the vectorized generated kernels and the scalar
+reference interpreter -- run against this same interface, which is what
+makes differential testing of the translator possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..translator import kernel_support as ks
+from .dirty import TwoLevelDirty
+from .partition import Block
+from .writemiss import WriteMissBuffer
+
+
+@dataclass
+class KernelContext:
+    """Execution context of one kernel launch on one GPU."""
+
+    device_index: int
+    i0: int
+    i1: int
+    #: Buffer-local views of each array's loaded block.
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Global index of element 0 of each local view.
+    base: dict[str, int] = field(default_factory=dict)
+    scalars: dict[str, Any] = field(default_factory=dict)
+    #: Dirty trackers for written replicated arrays.
+    dirty: dict[str, TwoLevelDirty] = field(default_factory=dict)
+    #: Local windows of distributed arrays needing write checks.
+    windows: dict[str, Block] = field(default_factory=dict)
+    miss: dict[str, WriteMissBuffer] = field(default_factory=dict)
+    #: Private reduction destinations (initialized to the op identity).
+    reduction_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Scalar-reduction partial results, set once per kernel run.
+    scalar_results: dict[str, Any] = field(default_factory=dict)
+    scalar_ops: dict[str, str] = field(default_factory=dict)
+    #: Dynamic inner-loop trip totals, keyed by the codegen's labels.
+    dyn_counts: dict[str, int] = field(default_factory=dict)
+    #: Permissive mode (single-address-space executors, e.g. the OpenMP
+    #: baseline): missing dirty trackers / windows / reduction copies are
+    #: not errors -- writes go straight to the full arrays.
+    permissive: bool = False
+
+    #: Modules exposed to generated code.
+    np = np
+    ks = ks
+
+    # -- instrumentation endpoints -------------------------------------------------
+
+    def mark_dirty(self, name: str, global_indices: np.ndarray) -> None:
+        """Record writes to a replicated array (two-level dirty bits)."""
+        tracker = self.dirty.get(name)
+        if tracker is None:
+            if self.permissive:
+                return
+            raise RuntimeError(
+                f"kernel marked {name!r} dirty but no tracker was configured")
+        tracker.mark(np.asarray(global_indices, dtype=np.int64))
+
+    def write_checked(self, name: str, global_indices: np.ndarray,
+                      values: Any, op: str = "") -> None:
+        """Distributed-array store with per-write window check.
+
+        In-window writes land in the local view; misses are buffered as
+        (address, value) records for the communication manager
+        (section IV-D2).
+        """
+        win = self.windows.get(name)
+        if win is None:
+            if self.permissive:
+                gi = np.asarray(global_indices, dtype=np.int64)
+                ks.store(self.arrays[name], gi - self.base[name], values, op)
+                return
+            raise RuntimeError(
+                f"kernel issued checked write to {name!r} without a window")
+        gi = np.asarray(global_indices, dtype=np.int64)
+        if gi.size == 0:
+            return
+        vals = values
+        hit = (gi >= win.lo) & (gi < win.hi)
+        local = gi[hit] - self.base[name]
+        hit_vals = vals[hit] if isinstance(vals, np.ndarray) and vals.shape else vals
+        if local.size:
+            ks.store(self.arrays[name], local, hit_vals, op)
+        if not hit.all():
+            missed = ~hit
+            miss_vals = (vals[missed] if isinstance(vals, np.ndarray) and vals.shape
+                         else np.broadcast_to(vals, (int(missed.sum()),)))
+            buf = self.miss.get(name)
+            if buf is None:
+                raise RuntimeError(
+                    f"write miss on {name!r} but no miss buffer configured")
+            buf.record(gi[missed], np.asarray(miss_vals), op)
+
+    def reduce_to_array(self, name: str, global_indices: np.ndarray,
+                        values: Any, op: str) -> None:
+        """Accumulate into this GPU's private reduction copy."""
+        dest = self.reduction_arrays.get(name)
+        if dest is None:
+            if self.permissive:
+                dest = self.arrays[name]
+            else:
+                raise RuntimeError(
+                    f"reduce_to_array on {name!r} without a private copy")
+        gi = np.asarray(global_indices, dtype=np.int64)
+        if gi.size == 0:
+            return
+        if gi.min() < 0 or gi.max() >= dest.shape[0]:
+            raise IndexError(
+                f"reductiontoarray index out of range for {name!r}")
+        ks.store(dest, gi, values, op if op else "+")
+
+    def reduce_scalar(self, op: str, name: str, value: Any) -> None:
+        """Report a scalar-reduction partial (folded if called twice)."""
+        if name in self.scalar_results:
+            value = ks.red_fold(op, self.scalar_results[name],
+                                np.asarray(value), None, 1)
+        self.scalar_results[name] = value
+        self.scalar_ops[name] = op
+
+    def dyn_count(self, label: str, total: int) -> None:
+        self.dyn_counts[label] = self.dyn_counts.get(label, 0) + int(total)
+
+    # -- conveniences ----------------------------------------------------------------
+
+    @property
+    def n_tasks(self) -> int:
+        return max(0, self.i1 - self.i0)

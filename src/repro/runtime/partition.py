@@ -1,0 +1,165 @@
+"""Task and array partitioning across GPUs.
+
+Section IV-B2: "the tasks in the parallel loop are equally divided
+among the GPUs".  :func:`split_tasks` produces the per-GPU iteration
+slices; :func:`window_for_tasks` evaluates a ``localaccess`` read
+window over a task slice, giving the array block (plus halo) the data
+loader must place on that GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..frontend import cast as C
+from ..translator.array_config import ReadWindow
+from ..translator.interpreter import ExprEvaluator
+
+
+class PartitionError(ValueError):
+    pass
+
+
+def split_tasks(lower: int, upper: int, ngpus: int) -> list[tuple[int, int]]:
+    """Equal block split of ``[lower, upper)`` into ``ngpus`` slices.
+
+    The first ``r`` slices get one extra task when the count does not
+    divide evenly; empty slices are legal (more GPUs than tasks).
+    """
+    if ngpus < 1:
+        raise PartitionError("need at least one GPU")
+    total = max(0, upper - lower)
+    base = total // ngpus
+    extra = total % ngpus
+    out: list[tuple[int, int]] = []
+    start = lower
+    for g in range(ngpus):
+        size = base + (1 if g < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+@dataclass(frozen=True)
+class Block:
+    """A loaded array block: global element range [lo, hi)."""
+
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return max(0, self.hi - self.lo)
+
+    def clamp(self, length: int) -> "Block":
+        return Block(max(0, min(self.lo, length)), max(0, min(self.hi, length)))
+
+    def intersect(self, other: "Block") -> "Block":
+        return Block(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def contains(self, other: "Block") -> bool:
+        return other.size == 0 or (self.lo <= other.lo and other.hi <= self.hi)
+
+
+def make_window_evaluator(
+    loop_var: str,
+    host_scalars: dict[str, Any],
+    host_arrays: dict[str, np.ndarray],
+) -> Callable[[C.Expr, int], int]:
+    """Evaluator for window-bound expressions at a given iteration.
+
+    Bounds may read *host-resident* arrays (the BFS
+    ``col[bounds(row[i], row[i+1]-1)]`` case): the data loader runs on
+    the host where those arrays are available, exactly as in the paper.
+    """
+
+    def evaluate(expr: C.Expr, i: int) -> int:
+        def load_var(name: str) -> Any:
+            if name == loop_var:
+                return i
+            if name in host_scalars:
+                return host_scalars[name]
+            raise PartitionError(f"unknown name {name!r} in localaccess bounds")
+
+        def load_elem(name: str, idx: int) -> Any:
+            arr = host_arrays.get(name)
+            if arr is None:
+                raise PartitionError(
+                    f"localaccess bounds read array {name!r} which is not "
+                    "host-resident")
+            if not (0 <= idx < arr.shape[0]):
+                raise PartitionError(
+                    f"localaccess bounds read {name}[{idx}] out of range")
+            return arr[idx]
+
+        return int(ExprEvaluator(load_var, load_elem).eval(expr))
+
+    return evaluate
+
+
+def window_for_tasks(
+    window: ReadWindow,
+    tasks: tuple[int, int],
+    array_length: int,
+    evaluate: Callable[[C.Expr, int], int],
+) -> Block:
+    """Array block a GPU with task slice ``tasks`` may read.
+
+    The window bounds are inclusive and must be monotone non-decreasing
+    in the loop variable (validated at the slice endpoints): the block
+    is then ``[lower(t0), upper(t1-1) + 1)`` clamped to the array.
+    """
+    t0, t1 = tasks
+    if t1 <= t0:
+        return Block(0, 0)
+    lo_first = evaluate(window.lower, t0)
+    lo_last = evaluate(window.lower, t1 - 1)
+    up_first = evaluate(window.upper, t0)
+    up_last = evaluate(window.upper, t1 - 1)
+    if lo_last < lo_first or up_last < up_first:
+        raise PartitionError(
+            "localaccess window bounds must be monotone non-decreasing in "
+            "the loop variable")
+    return Block(lo_first, up_last + 1).clamp(array_length)
+
+
+def primary_blocks(windows: list[Block], length: int) -> list[Block]:
+    """Disjoint ownership blocks derived from per-GPU (halo'd) windows.
+
+    Owner of element x = the GPU whose window midpoint region covers it;
+    computed by splitting at the midpoints of consecutive windows'
+    overlap.  With zero halo this returns the windows themselves.
+    Elements outside every window are assigned to the nearest block so
+    that ownership always covers ``[0, length)``.
+    """
+    n = len(windows)
+    if n == 0:
+        return []
+    cuts = [0]
+    for g in range(1, n):
+        left = windows[g - 1]
+        right = windows[g]
+        if right.size == 0:
+            cuts.append(min(max(left.hi, cuts[-1]), length))
+            continue
+        if left.size == 0:
+            cuts.append(right.lo)
+            continue
+        mid = (min(left.hi, length) + max(right.lo, 0) + 1) // 2
+        cuts.append(max(cuts[-1], min(mid, length)))
+    cuts.append(length)
+    out = []
+    for g in range(n):
+        lo = min(cuts[g], length)
+        hi = min(max(cuts[g + 1], lo), length)
+        out.append(Block(lo, hi))
+    return out
+
+
+def owner_of(indices: np.ndarray, blocks: list[Block]) -> np.ndarray:
+    """Vectorized ownership lookup: GPU index per global element index."""
+    bounds = np.array([b.lo for b in blocks[1:]], dtype=np.int64)
+    return np.searchsorted(bounds, indices, side="right")

@@ -1,0 +1,101 @@
+"""Write-miss buffers for distributed arrays (section IV-D2).
+
+When a kernel's write to a distributed array falls outside the GPU's
+loaded window, the instrumented store buffers the (address, value)
+pair in a device-resident system buffer.  After the kernel, the
+communication manager routes each record to the GPU that owns the
+destination element and replays the write there.
+
+The buffer has a fixed capacity (allocated up front, like the paper's
+"system buffers"); overflowing it is handled by growing in capacity
+steps, each step charged as additional system memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vcuda.memory import DeviceMemory, PURPOSE_SYSTEM
+
+#: Bytes per record: 8-byte global address + up-to-8-byte value.
+RECORD_BYTES = 16
+
+
+class MissBufferOverflow(RuntimeError):
+    pass
+
+
+class WriteMissBuffer:
+    """Miss records for one distributed array on one GPU."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        memory: DeviceMemory | None = None,
+        allow_growth: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("miss buffer capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.allow_growth = allow_growth
+        self.memory = memory
+        self._bufs = []
+        if memory is not None:
+            self._bufs.append(memory.alloc(
+                f"miss:{name}", capacity * RECORD_BYTES, np.uint8,
+                purpose=PURPOSE_SYSTEM))
+        self.addresses: list[np.ndarray] = []
+        self.values: list[np.ndarray] = []
+        self.ops: list[str] = []
+        self.count = 0
+        #: Peak record count, for Fig. 9 accounting and tests.
+        self.high_water = 0
+
+    def record(self, addresses: np.ndarray, values: np.ndarray, op: str) -> None:
+        if addresses.size == 0:
+            return
+        if addresses.shape[0] != np.broadcast_shapes(addresses.shape,
+                                                     np.shape(values) or (1,))[0]:
+            raise ValueError("address/value length mismatch")
+        new_count = self.count + int(addresses.size)
+        while new_count > self.capacity:
+            if not self.allow_growth:
+                raise MissBufferOverflow(
+                    f"write-miss buffer for {self.name!r} exceeded "
+                    f"{self.capacity} records")
+            self._grow()
+        self.addresses.append(np.asarray(addresses, dtype=np.int64))
+        self.values.append(np.broadcast_to(values, addresses.shape).copy()
+                           if np.ndim(values) == 0 else np.asarray(values))
+        self.ops.append(op)
+        self.count = new_count
+        self.high_water = max(self.high_water, self.count)
+
+    def _grow(self) -> None:
+        step = self.capacity
+        if self.memory is not None:
+            self._bufs.append(self.memory.alloc(
+                f"miss:{self.name}:+{len(self._bufs)}", step * RECORD_BYTES,
+                np.uint8, purpose=PURPOSE_SYSTEM))
+        self.capacity += step
+
+    def drain(self) -> list[tuple[np.ndarray, np.ndarray, str]]:
+        """Take all records, grouped by the op they were written with."""
+        out = list(zip(self.addresses, self.values, self.ops))
+        self.addresses = []
+        self.values = []
+        self.ops = []
+        self.count = 0
+        return out
+
+    @property
+    def record_bytes(self) -> int:
+        return self.count * RECORD_BYTES
+
+    def release(self) -> None:
+        if self.memory is not None:
+            for b in self._bufs:
+                self.memory.free(b)
+        self._bufs = []

@@ -1,0 +1,446 @@
+"""Top-level translator: OpenACC C source -> compiled multi-GPU program.
+
+Mirrors the paper's translator (section IV-B): every parallel loop in a
+``parallel``/``kernels`` region becomes a kernel (vectorized NumPy
+source plus a scalar interpreter fallback), the host program around it
+is kept as AST for the host executor, and the per-loop array
+configuration information is derived from the access analysis and the
+``localaccess``/``reductiontoarray`` extensions:
+
+* arrays *without* ``localaccess`` -> replica placement; if written,
+  two-level dirty-bit instrumentation;
+* arrays *with* ``localaccess`` -> distribution placement with the
+  declared window; writes are left uninstrumented when the compiler
+  proves them inside the window (check-code elision, section IV-D2),
+  otherwise they get per-write miss checks;
+* statements annotated ``reductiontoarray`` route through the private
+  reduction copies merged by the communication manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..frontend import cast as C
+from ..frontend.analysis import (
+    AnalysisError,
+    LoopAnalysis,
+    affine_in,
+    analyze_loop,
+    const_value,
+    normalize_loop,
+)
+from ..frontend.directives import (
+    AccLocalAccess,
+    AccLoop,
+    AccParallel,
+    LocalAccessSpec,
+)
+from ..frontend.parser import parse
+from ..frontend.symbols import Scope, build_function_scope, build_global_scope
+from .array_config import (
+    ArrayConfig,
+    LoopConfig,
+    Placement,
+    ReadWindow,
+    WriteHandling,
+    window_from_spec,
+)
+from ..vcuda.device import KernelWork
+from .cost import KernelCostInfo
+from .interpreter import KernelInterpreter
+from .vectorizer import (
+    KernelSourceInfo,
+    VectorizeError,
+    Vectorizer,
+    compile_kernel_source,
+)
+
+
+class CompileError(ValueError):
+    def __init__(self, message: str, line: int = 0) -> None:
+        where = f" (line {line})" if line else ""
+        super().__init__(f"compile error{where}: {message}")
+        self.line = line
+
+
+@dataclass
+class CompileOptions:
+    """Translator switches (the ablation benchmarks toggle these)."""
+
+    #: Apply the 2-D layout transformation for coalescing (IV-B4).
+    layout_transform: bool = True
+    #: Elide write checks proven inside the localaccess window (IV-D2).
+    elide_write_checks: bool = True
+    #: Fail compilation when a loop cannot be vectorized instead of
+    #: silently keeping only the interpreter fallback.
+    require_vectorized: bool = False
+
+
+@dataclass
+class KernelPlan:
+    """One compiled parallel loop."""
+
+    name: str
+    config: LoopConfig
+    loop_var: str
+    lower: C.Expr
+    upper: C.Expr
+    scalar_names: list[str]
+    cost: KernelCostInfo
+    analysis: LoopAnalysis
+    source_info: KernelSourceInfo | None = None
+    fn: Any = None
+    interp: KernelInterpreter | None = None
+    vectorize_error: str | None = None
+    loop_directive: AccLoop | None = None
+    #: Launch geometry from the construct clauses: ``vector_length``
+    #: chooses the CUDA block size, ``num_gangs`` caps the grid.
+    block_dim: int | None = None
+    max_gangs: int | None = None
+
+    def execute(self, ctx, engine: str = "vector") -> None:
+        if engine == "vector" and self.fn is not None:
+            self.fn(ctx)
+            return
+        assert self.interp is not None
+        self.interp.run(ctx)
+
+    @property
+    def source(self) -> str:
+        """Generated vectorized kernel source (inspection/tests)."""
+        if self.source_info is None:
+            return f"# kernel {self.name}: interpreter-only " \
+                   f"({self.vectorize_error})\n"
+        return self.source_info.source
+
+
+@dataclass
+class ParallelRegion:
+    """One ``parallel``/``kernels`` construct in a function body."""
+
+    stmt: C.Stmt
+    directive: AccParallel
+    plans: list[KernelPlan] = field(default_factory=list)
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the host executor needs to run the program."""
+
+    program: C.Program
+    options: CompileOptions
+    plans: list[KernelPlan] = field(default_factory=list)
+    regions_by_stmt: dict[int, ParallelRegion] = field(default_factory=dict)
+    plans_by_loop: dict[int, KernelPlan] = field(default_factory=dict)
+    scopes: dict[str, Scope] = field(default_factory=dict)
+    global_scope: Scope | None = None
+
+    def plan(self, name: str) -> KernelPlan:
+        for p in self.plans:
+            if p.name == name:
+                return p
+        raise KeyError(f"no kernel named {name!r}")
+
+    def kernel_names(self) -> list[str]:
+        return [p.name for p in self.plans]
+
+
+def compile_source(source: str,
+                   options: CompileOptions | None = None) -> CompiledProgram:
+    """Parse and translate an OpenACC C program."""
+    return compile_program(parse(source), options)
+
+
+def compile_program(program: C.Program,
+                    options: CompileOptions | None = None) -> CompiledProgram:
+    """Translate an already-parsed program (any frontend: C or Fortran)."""
+    options = options or CompileOptions()
+    compiled = CompiledProgram(program=program, options=options)
+    compiled.global_scope = build_global_scope(program)
+    for func in program.functions:
+        scope = build_function_scope(func, compiled.global_scope)
+        compiled.scopes[func.name] = scope
+        _compile_function(func, scope, compiled, options)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Per-function compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_function(func: C.FunctionDef, scope: Scope,
+                      compiled: CompiledProgram, options: CompileOptions) -> None:
+    counter = 0
+    for stmt in _walk_outside_regions(func.body, compiled):
+        par = next((d for d in stmt.directives if isinstance(d, AccParallel)), None)
+        if par is None:
+            continue
+        region = ParallelRegion(stmt=stmt, directive=par)
+        loops = _collect_region_loops(stmt, par)
+        if not loops:
+            raise CompileError(
+                f"{par.construct} region contains no parallel loop",
+                par.line)
+        for loop_stmt, loop_dir in loops:
+            name = f"{func.name}_L{counter}"
+            counter += 1
+            plan = _compile_loop(name, loop_stmt, loop_dir, stmt, func,
+                                 scope, options)
+            region.plans.append(plan)
+            compiled.plans.append(plan)
+            compiled.plans_by_loop[id(loop_stmt)] = plan
+        compiled.regions_by_stmt[id(stmt)] = region
+
+
+def _walk_outside_regions(body: C.Stmt, compiled: CompiledProgram):
+    """Source-order walk that does not descend into parallel regions.
+
+    Source order matters: kernels are numbered in the order a reader
+    sees them (``f_L0`` is the first loop of function ``f``).
+    """
+    stack = [body]
+    while stack:
+        s = stack.pop()
+        yield s
+        if any(isinstance(d, AccParallel) for d in s.directives):
+            continue
+        stack.extend(reversed(list(C.child_stmts(s))))
+
+
+def _collect_region_loops(stmt: C.Stmt,
+                          par: AccParallel) -> list[tuple[C.For, AccLoop]]:
+    """The parallel loops of a region, in source order."""
+    if par.fused_loop is not None:
+        if not isinstance(stmt, C.For):
+            raise CompileError(
+                "'parallel loop' must annotate a for statement", par.line)
+        return [(stmt, par.fused_loop)]
+    loops: list[tuple[C.For, AccLoop]] = []
+
+    def rec(s: C.Stmt) -> None:
+        loop_dir = next((d for d in s.directives if isinstance(d, AccLoop)), None)
+        if isinstance(s, C.For) and loop_dir is not None:
+            loops.append((s, loop_dir))
+            return  # do not search for nested parallel loops
+        for c in C.child_stmts(s):
+            rec(c)
+
+    rec(stmt)
+    return loops
+
+
+# ---------------------------------------------------------------------------
+# Per-loop compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_loop(name: str, loop_stmt: C.For, loop_dir: AccLoop,
+                  region_stmt: C.Stmt, func: C.FunctionDef, scope: Scope,
+                  options: CompileOptions) -> KernelPlan:
+    try:
+        nest = normalize_loop(loop_stmt, loop_dir)
+    except AnalysisError as exc:
+        raise CompileError(str(exc), loop_stmt.line) from exc
+
+    array_names = {s.name for s in _all_symbols(scope) if s.is_array}
+    scalar_names = {s.name for s in _all_symbols(scope) if not s.is_array}
+    try:
+        analysis = analyze_loop(nest, array_names, scalar_names)
+    except AnalysisError as exc:
+        raise CompileError(str(exc), loop_stmt.line) from exc
+
+    localaccess = _gather_localaccess(loop_stmt, region_stmt)
+    config = _build_loop_config(name, nest.var, analysis, localaccess,
+                                scope, options)
+
+    scalar_types = {
+        s.name: s.ctype.base for s in _all_symbols(scope) if not s.is_array
+    }
+    local_types = {}
+    for st in C.walk(nest.body):
+        if isinstance(st, C.Decl):
+            local_types[st.name] = st.ctype.base
+    for pname in loop_dir.private:
+        sym = scope.lookup(pname)
+        if sym is None or sym.is_array:
+            raise CompileError(
+                f"private({pname}) must name a scalar variable",
+                loop_dir.line)
+        local_types[pname] = sym.ctype.base
+
+    plan = KernelPlan(
+        name=name,
+        config=config,
+        loop_var=nest.var,
+        lower=nest.lower,
+        upper=nest.upper,
+        scalar_names=list(analysis.host_scalars),
+        cost=KernelCostInfo(buckets={"base": KernelWork()}),
+        analysis=analysis,
+        loop_directive=loop_dir,
+    )
+    par_dir = next((d for d in region_stmt.directives
+                    if isinstance(d, AccParallel)), None)
+    if par_dir is not None:
+        if par_dir.vector_length is not None:
+            vl = const_value(par_dir.vector_length)
+            if vl is None or not (1 <= vl <= 1024):
+                raise CompileError(
+                    "vector_length must be a constant in [1, 1024]",
+                    par_dir.line)
+            plan.block_dim = vl
+        if par_dir.num_gangs is not None:
+            ng = const_value(par_dir.num_gangs)
+            if ng is None or ng < 1:
+                raise CompileError(
+                    "num_gangs must be a positive constant", par_dir.line)
+            plan.max_gangs = ng
+    try:
+        vec = Vectorizer(name, analysis, config, scalar_types, dict(local_types))
+        info = vec.generate()
+        plan.source_info = info
+        plan.fn = compile_kernel_source(info)
+        plan.cost = info.cost
+    except VectorizeError as exc:
+        if options.require_vectorized:
+            raise CompileError(str(exc), loop_stmt.line) from exc
+        plan.vectorize_error = str(exc)
+    plan.interp = KernelInterpreter(
+        body=nest.body,
+        loop_var=nest.var,
+        config=config,
+        scalar_reductions=analysis.scalar_reductions,
+        private_names=tuple(loop_dir.private),
+        local_types=dict(local_types),
+    )
+    return plan
+
+
+def _all_symbols(scope: Scope):
+    s: Scope | None = scope
+    while s is not None:
+        yield from s
+        s = s.parent
+
+
+def _gather_localaccess(loop_stmt: C.Stmt,
+                        region_stmt: C.Stmt) -> dict[str, LocalAccessSpec]:
+    entries: dict[str, LocalAccessSpec] = {}
+    sources = [region_stmt, loop_stmt] if region_stmt is not loop_stmt \
+        else [loop_stmt]
+    for s in sources:
+        for d in s.directives:
+            if isinstance(d, AccLocalAccess):
+                for n, spec in d.entries.items():
+                    if n in entries:
+                        raise CompileError(
+                            f"duplicate localaccess for array {n!r}", d.line)
+                    entries[n] = spec
+    return entries
+
+
+def _build_loop_config(name: str, loop_var: str, analysis: LoopAnalysis,
+                       localaccess: dict[str, LocalAccessSpec], scope: Scope,
+                       options: CompileOptions) -> LoopConfig:
+    config = LoopConfig(kernel_name=name, loop_var=loop_var,
+                        scalar_reductions=list(analysis.scalar_reductions))
+    reduction_dirs = {d.array: d for d in analysis.array_reductions}
+    for arr_name, usage in analysis.arrays.items():
+        sym = scope.lookup(arr_name)
+        if sym is None:
+            raise CompileError(f"undeclared array {arr_name!r} in loop {name}")
+        cfg = ArrayConfig(
+            name=arr_name,
+            ctype=sym.ctype.base,
+            read=usage.is_read,
+            written=usage.is_written,
+            writes_affine=usage.writes_affine,
+        )
+        spec = localaccess.get(arr_name)
+        if spec is not None:
+            if spec.kind == "all":
+                # 'all' declares the whole array as the read window: the
+                # loader keeps replica placement, but the array still counts
+                # as localaccess-annotated (Table II column D) and is
+                # eligible for the read-only optimizations.
+                cfg.placement = Placement.REPLICA
+                cfg.window = ReadWindow(
+                    lower=C.IntLit(0),
+                    upper=C.BinOp("-", _array_len_expr(sym), C.IntLit(1)),
+                    spec=spec,
+                )
+            else:
+                cfg.placement = Placement.DISTRIBUTED
+                cfg.window = window_from_spec(spec, loop_var)
+        # Write handling.
+        if arr_name in reduction_dirs:
+            cfg.write_handling = WriteHandling.REDUCTION
+            cfg.reduction_op = reduction_dirs[arr_name].op
+        elif usage.is_written:
+            if cfg.placement == Placement.REPLICA:
+                cfg.write_handling = WriteHandling.DIRTY_BITS
+            else:
+                proven = options.elide_write_checks and _writes_proven_local(
+                    usage, cfg.window, loop_var)
+                cfg.write_handling = (WriteHandling.LOCAL_PROVEN if proven
+                                      else WriteHandling.MISS_CHECK)
+        # Layout-transformation hint (IV-B4): read-only + localaccess +
+        # no data-dependent subscripts (symbolic affine strides qualify).
+        if (options.layout_transform and cfg.read_only and spec is not None
+                and not any(a.data_dependent for a in usage.accesses)):
+            cfg.coalesced_hint = True
+        config.arrays[arr_name] = cfg
+    # Unknown localaccess targets are programmer errors worth reporting.
+    for n in localaccess:
+        if n not in config.arrays:
+            raise CompileError(
+                f"localaccess names array {n!r} which the loop never touches")
+    return config
+
+
+def _array_len_expr(sym) -> C.Expr:
+    if sym.ctype.array_dims and sym.ctype.array_dims[0] is not None:
+        return sym.ctype.array_dims[0]
+    # Pointer parameter: length unknown statically; the loader clamps the
+    # window to the actual host array at run time, so any large bound works.
+    return C.IntLit(1 << 62)
+
+
+def _writes_proven_local(usage, window: ReadWindow | None,
+                         loop_var: str) -> bool:
+    """The paper's static check elision (section IV-D2).
+
+    A write is provably inside the declared window when both window
+    bounds and the write index are affine in the loop variable with the
+    *same* coefficient and constant offsets satisfying
+    ``lower_offset <= write_offset <= upper_offset`` -- then the
+    containment holds for every iteration.  This covers the C stride
+    form and the Fortran frontend's re-based bounds form alike; windows
+    whose bounds read arrays (the CSR indirect form) are never
+    statically provable.
+    """
+    if window is None:
+        return False
+    lo_aff = affine_in(window.lower, loop_var)
+    hi_aff = affine_in(window.upper, loop_var)
+    if lo_aff is None or hi_aff is None:
+        return False
+    lo_c = const_value(lo_aff.offset)
+    hi_c = const_value(hi_aff.offset)
+    if lo_c is None or hi_c is None:
+        return False
+    for acc in usage.write_accesses():
+        if acc.affine is None:
+            return False
+        if acc.affine.coeff != lo_aff.coeff or \
+                acc.affine.coeff != hi_aff.coeff:
+            return False
+        b = const_value(acc.affine.offset)
+        if b is None:
+            return False
+        if not (lo_c <= b <= hi_c):
+            return False
+    return True

@@ -1,0 +1,109 @@
+"""Static work estimation for generated kernels.
+
+The vectorizer walks the loop body once, emitting code and charging
+each operation into a :class:`CostCollector` bucket at the same time.
+The result is a :class:`KernelCostInfo`: a per-outer-iteration
+``base`` :class:`~repro.vcuda.device.KernelWork` plus one bucket per
+inner loop, priced *per trip*.  At launch time the runtime combines
+these with the actual outer-slice length and the dynamic trip totals
+the generated code reports through ``ctx.dyn_count`` -- so
+data-dependent loops (BFS's edge visits) are priced by what actually
+happened, exactly as real hardware would charge for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vcuda.device import KernelWork
+
+#: FLOP charges per operation (Fermi-era throughput ratios).
+FLOP_COST = {
+    "+": 1.0, "-": 1.0, "*": 1.0,
+    "/": 4.0, "%": 4.0,
+    "cmp": 1.0,
+    "sqrt": 8.0, "rsqrt": 4.0,
+    "exp": 16.0, "log": 16.0, "pow": 24.0,
+    "sin": 16.0, "cos": 16.0,
+    "abs": 1.0, "minmax": 1.0, "floor": 1.0, "ceil": 1.0,
+}
+
+#: Memory access classes (decided from affine analysis wrt the lane axis).
+ACCESS_COALESCED = "coalesced"
+ACCESS_BROADCAST = "broadcast"  # lane-invariant: served by cache
+ACCESS_STRIDED = "strided"
+ACCESS_RANDOM = "random"
+
+#: Effective bytes charged per 4-byte element by access class; strided
+#: and random accesses waste most of each 128-byte transaction.
+_CLASS_FACTOR = {
+    ACCESS_COALESCED: 1.0,
+    ACCESS_BROADCAST: 1.0 / 32.0,
+    ACCESS_STRIDED: 2.5,
+    ACCESS_RANDOM: 4.0,
+}
+
+
+@dataclass
+class CostCollector:
+    """Accumulates work into the bucket for the current loop level."""
+
+    buckets: dict[str, KernelWork] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=lambda: ["base"])
+
+    def __post_init__(self) -> None:
+        self.buckets.setdefault("base", KernelWork())
+
+    @property
+    def current(self) -> KernelWork:
+        return self.buckets[self._stack[-1]]
+
+    def push(self, label: str) -> None:
+        self.buckets.setdefault(label, KernelWork())
+        self._stack.append(label)
+
+    def pop(self) -> None:
+        if len(self._stack) == 1:
+            raise RuntimeError("cost bucket stack underflow")
+        self._stack.pop()
+
+    def flop(self, kind: str, count: float = 1.0) -> None:
+        self.current.flops += FLOP_COST[kind] * count
+
+    def intop(self, count: float = 1.0) -> None:
+        self.current.int_ops += count
+
+    def access(self, nbytes: int, access_class: str) -> None:
+        eff = nbytes * _CLASS_FACTOR[access_class]
+        if access_class in (ACCESS_COALESCED, ACCESS_BROADCAST):
+            self.current.coalesced_bytes += eff
+        else:
+            self.current.random_bytes += eff
+
+    def serialize(self, factor: float) -> None:
+        self.current.serialization = max(self.current.serialization, factor)
+
+
+@dataclass
+class KernelCostInfo:
+    """Per-iteration work, split by loop level."""
+
+    buckets: dict[str, KernelWork]
+
+    @property
+    def base(self) -> KernelWork:
+        return self.buckets["base"]
+
+    def inner_labels(self) -> list[str]:
+        return [k for k in self.buckets if k != "base"]
+
+    def total(self, n_outer: int, dyn_totals: dict[str, int]) -> KernelWork:
+        """Total launch work given the outer slice length and the
+        dynamic trip totals reported by the kernel execution."""
+        work = self.base.scaled(n_outer)
+        for label, per_trip in self.buckets.items():
+            if label == "base":
+                continue
+            trips = dyn_totals.get(label, 0)
+            work = work + per_trip.scaled(trips)
+        return work

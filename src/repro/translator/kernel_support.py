@@ -1,0 +1,167 @@
+"""Runtime helpers imported by generated kernel code.
+
+The vectorizer emits NumPy source that calls these small utilities for
+the operations that are awkward to inline: guarded gathers (predicated
+lanes may carry garbage indices), lane selection, segmented range
+flattening for CSR inner loops, and reduction folding.
+
+Everything here is vectorized per the hpc-parallel guides: no
+per-element Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ld(arr: np.ndarray, idx):
+    """Guarded gather ``arr[idx]``.
+
+    Under predication every lane evaluates the index expression, so
+    inactive lanes may hold out-of-range indices; their values are
+    discarded by the enclosing mask.  Clipping keeps the gather safe
+    without branching, like a GPU's guarded load.
+    """
+    if isinstance(idx, np.ndarray):
+        if idx.size == 0:
+            return arr[idx]
+        return arr[np.clip(idx, 0, arr.shape[0] - 1)]
+    return arr[min(max(int(idx), 0), arr.shape[0] - 1)]
+
+
+def msel(v, mask):
+    """Select active lanes of ``v`` (scalar values pass through)."""
+    if mask is None:
+        return v
+    if isinstance(v, np.ndarray) and v.shape:
+        return v[mask]
+    return v
+
+
+def bcv(v, n: int, dtype=None):
+    """Materialize ``v`` as a length-``n`` lane vector (writable)."""
+    arr = np.asarray(v)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    if arr.ndim == 0:
+        return np.full(n, arr)
+    if arr.shape[0] != n:
+        raise ValueError(f"lane vector of length {arr.shape[0]} != {n}")
+    return np.array(arr) if not arr.flags.writeable else arr
+
+
+def lanes_of(mask, n: int) -> int:
+    """Number of active lanes under ``mask`` (or all ``n``)."""
+    return int(mask.sum()) if mask is not None else n
+
+
+def flat_ranges(lo: np.ndarray, cnt: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(lo[k], lo[k]+cnt[k])`` for all k.
+
+    The CSR flattening primitive: one vector holding every (i, e) pair's
+    inner index, built with repeat/cumsum instead of a Python loop.
+    """
+    cnt = np.maximum(cnt, 0)
+    total = int(cnt.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.repeat(lo.astype(np.int64), cnt)
+    # Offset within each segment: global position minus segment start pos.
+    seg_start_pos = np.repeat(np.cumsum(cnt) - cnt, cnt)
+    offsets = np.arange(total, dtype=np.int64) - seg_start_pos
+    return starts + offsets
+
+
+def merge(old, new, mask):
+    """Masked merge for local-variable assignment under predication."""
+    if mask is None:
+        if isinstance(old, np.ndarray) and old.shape and not (
+            isinstance(new, np.ndarray) and new.shape
+        ):
+            out = old.copy()
+            out[...] = new
+            return out
+        return np.asarray(new) if isinstance(new, np.ndarray) else new
+    return np.where(mask, new, old)
+
+
+def store(arr: np.ndarray, idx, values, op: str = "") -> None:
+    """Elementwise store ``arr[idx] op= values``.
+
+    For plain assignment duplicate indices resolve last-writer-wins
+    (NumPy fancy assignment), matching the benign-race semantics of a
+    GPU global-memory store.  Compound ops use unbuffered ``ufunc.at``
+    so duplicates accumulate, matching an atomic RMW.
+    """
+    if op == "":
+        arr[idx] = values
+    elif op == "+":
+        np.add.at(arr, idx, values)
+    elif op == "-":
+        np.subtract.at(arr, idx, values)
+    elif op == "*":
+        np.multiply.at(arr, idx, values)
+    elif op == "max":
+        np.maximum.at(arr, idx, values)
+    elif op == "min":
+        np.minimum.at(arr, idx, values)
+    elif op == "&":
+        np.bitwise_and.at(arr, idx, values)
+    elif op == "|":
+        np.bitwise_or.at(arr, idx, values)
+    else:
+        raise ValueError(f"unsupported store op {op!r}")
+
+
+_RED_IDENTITY = {
+    "+": 0,
+    "*": 1,
+    "max": -np.inf,
+    "min": np.inf,
+    "&": ~0,
+    "|": 0,
+    "^": 0,
+    "&&": True,
+    "||": False,
+}
+
+
+def red_identity(op: str):
+    return _RED_IDENTITY[op]
+
+
+def red_fold(op: str, acc, values, mask, n_lanes: int):
+    """Fold ``values`` (vector or scalar) over active lanes into ``acc``."""
+    lanes = lanes_of(mask, n_lanes)
+    if lanes == 0:
+        return acc
+    v = msel(values, mask)
+    is_vec = isinstance(v, np.ndarray) and v.shape
+    if op == "+":
+        return acc + (v.sum() if is_vec else v * lanes)
+    if op == "*":
+        if is_vec:
+            return acc * v.prod()
+        return acc * (v**lanes)
+    if op == "max":
+        m = v.max() if is_vec else v
+        return max(acc, m)
+    if op == "min":
+        m = v.min() if is_vec else v
+        return min(acc, m)
+    if op in ("|", "||"):
+        folded = bool(np.any(v)) if is_vec else bool(v)
+        return (acc or folded) if op == "||" else (acc | (np.bitwise_or.reduce(v) if is_vec else v))
+    if op in ("&", "&&"):
+        folded = bool(np.all(v)) if is_vec else bool(v)
+        return (acc and folded) if op == "&&" else (acc & (np.bitwise_and.reduce(v) if is_vec else v))
+    if op == "^":
+        return acc ^ (np.bitwise_xor.reduce(v) if is_vec else (v if lanes % 2 else 0))
+    raise ValueError(f"unsupported reduction op {op!r}")
+
+
+def cast_to(v, dtype):
+    """C-style cast to a NumPy dtype, scalar- and vector-aware."""
+    if isinstance(v, np.ndarray):
+        return v.astype(dtype)
+    return dtype(v)

@@ -1,0 +1,179 @@
+"""The virtual CUDA platform facade.
+
+:class:`Platform` bundles the devices, the PCIe bus, the clock, and the
+profiler of one machine, and exposes a CUDA-flavoured API:
+
+* ``malloc`` / ``free`` -- device allocations (byte-accounted),
+* ``memcpy_h2d`` / ``memcpy_d2h`` / ``memcpy_p2p`` -- data movement that
+  both performs the copy (NumPy) and reserves link time on the bus,
+* ``launch`` / ``sync_devices`` -- kernel execution with inter-device
+  concurrency: kernels launched on different GPUs before a sync overlap
+  in virtual time, exactly like CUDA kernels issued from one host
+  thread onto several devices.
+
+Hand-written baseline programs (the paper's "CUDA" version) are written
+directly against this class; the OpenACC runtime sits on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .bus import Bus, CATEGORY_KERNELS, Transfer
+from .clock import VirtualClock
+from .device import Device, KernelWork, LaunchConfig
+from .memory import DeviceBuffer
+from .profiler import Profiler
+from .specs import MachineSpec
+
+
+class Platform:
+    """One machine instance: devices + bus + clock + profiler."""
+
+    def __init__(self, machine: MachineSpec, ngpus: int | None = None) -> None:
+        if ngpus is None:
+            ngpus = machine.gpu_count
+        if not (1 <= ngpus <= machine.gpu_count):
+            raise ValueError(
+                f"{machine.name} has {machine.gpu_count} GPUs; requested {ngpus}"
+            )
+        self.machine = machine
+        self.clock = VirtualClock()
+        self.devices = [Device(i, machine.gpu) for i in range(ngpus)]
+        self.bus = Bus(machine, self.clock)
+        self.profiler = Profiler(self.clock)
+
+    @property
+    def ngpus(self) -> int:
+        return len(self.devices)
+
+    def device(self, index: int) -> Device:
+        return self.devices[index]
+
+    # -- memory ---------------------------------------------------------------
+
+    def malloc(
+        self,
+        device: int,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+        purpose: str = "user",
+        base: int = 0,
+        fill: float | int | None = None,
+    ) -> DeviceBuffer:
+        return self.devices[device].memory.alloc(
+            name, shape, dtype, purpose=purpose, base=base, fill=fill
+        )
+
+    def free(self, buf: DeviceBuffer) -> None:
+        self.devices[buf.device_index].memory.free(buf)
+
+    # -- data movement (copy + timed) ------------------------------------------
+
+    def memcpy_h2d(
+        self, buf: DeviceBuffer, host: np.ndarray, *, asynchronous: bool = False
+    ) -> Transfer:
+        """Copy ``host`` into the device buffer; reserves H2D link time."""
+        buf.check_alive()
+        np.copyto(buf.data, host)
+        t = self.bus.h2d(buf.device_index, int(host.nbytes))
+        if not asynchronous:
+            self.bus.sync()
+        return t
+
+    def memcpy_d2h(
+        self, host: np.ndarray, buf: DeviceBuffer, *, asynchronous: bool = False
+    ) -> Transfer:
+        """Copy the device buffer into ``host``; reserves D2H link time."""
+        buf.check_alive()
+        np.copyto(host, buf.data)
+        t = self.bus.d2h(buf.device_index, int(buf.nbytes))
+        if not asynchronous:
+            self.bus.sync()
+        return t
+
+    def memcpy_p2p(
+        self,
+        dst: DeviceBuffer,
+        src: DeviceBuffer,
+        nbytes: int | None = None,
+        *,
+        dst_slice: slice | np.ndarray | None = None,
+        src_slice: slice | np.ndarray | None = None,
+        asynchronous: bool = True,
+    ) -> Transfer:
+        """Direct GPU-to-GPU copy (optionally of a sub-range)."""
+        dst.check_alive()
+        src.check_alive()
+        src_view = src.data if src_slice is None else src.data[src_slice]
+        if dst_slice is None:
+            np.copyto(dst.data, src_view)
+        else:
+            dst.data[dst_slice] = src_view
+        moved = int(src_view.nbytes) if nbytes is None else nbytes
+        t = self.bus.p2p(src.device_index, dst.device_index, moved)
+        if not asynchronous:
+            self.bus.sync()
+        return t
+
+    # -- kernels ----------------------------------------------------------------
+
+    def launch(
+        self,
+        device: int,
+        kernel_name: str,
+        fn: Callable[..., None],
+        args: Sequence[object],
+        work: KernelWork,
+        config: LaunchConfig,
+    ) -> float:
+        """Execute ``fn(*args)`` on ``device`` and reserve compute time.
+
+        The data effects happen immediately (NumPy executes now); the
+        *time* is queued on the device so that kernels launched on other
+        devices before :meth:`sync_devices` overlap.  Returns the
+        modeled duration in seconds.
+        """
+        dev = self.devices[device]
+        fn(*args)
+        seconds = dev.kernel_time(work, config)
+        start = max(dev.busy_until, self.clock.now)
+        rec = dev.record_launch(kernel_name, work, config, seconds)
+        rec.start = start
+        dev.busy_until = start + seconds
+        return seconds
+
+    def sync_devices(self, category: str = CATEGORY_KERNELS) -> float:
+        """Host-side ``cudaDeviceSynchronize`` over all devices.
+
+        Advances the clock to the latest ``busy_until``; the wall time is
+        attributed to ``category`` (kernels, by default).
+        """
+        latest = max((d.busy_until for d in self.devices), default=self.clock.now)
+        before = self.clock.now
+        self.clock.advance_to(latest, category)
+        return self.clock.now - before
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return self.clock.now
+
+    def memory_usage(self, purpose: str | None = None) -> int:
+        """Sum of live device bytes across GPUs (optionally one purpose)."""
+        if purpose is None:
+            return sum(d.memory.live_bytes for d in self.devices)
+        return sum(d.memory.live_bytes_of(purpose) for d in self.devices)
+
+    def memory_high_water(self, purpose: str) -> int:
+        return sum(d.memory.high_water_of(purpose) for d in self.devices)
+
+    def reset(self) -> None:
+        self.clock.reset()
+        for d in self.devices:
+            d.reset()
+        self.bus = Bus(self.machine, self.clock)
+        self.profiler = Profiler(self.clock)

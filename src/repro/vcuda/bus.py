@@ -1,0 +1,170 @@
+"""PCI-Express interconnect model.
+
+Each GPU hangs off the host through one PCIe link; peer-to-peer copies
+occupy the links of both endpoint GPUs and, on a dual-I/O-hub node,
+cross the QPI at reduced bandwidth (``BusSpec.p2p_cross_hub``).
+
+Transfers are *asynchronous*: :meth:`Bus.h2d` and friends only reserve
+link time and return a :class:`Transfer` with start/end timestamps in
+virtual time.  The caller (runtime data loader / communication manager)
+synchronizes a batch with :meth:`Bus.sync`, which advances the shared
+clock to the batch makespan -- this models the paper's "communications
+are executed asynchronously" (section IV-D) where transfers to distinct
+GPUs overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from .clock import VirtualClock
+from .specs import BusSpec, MachineSpec
+
+TransferKind = Literal["h2d", "d2h", "p2p"]
+
+#: Profiler categories matching the paper's Fig. 8 buckets.
+CATEGORY_CPU_GPU = "CPU-GPU"
+CATEGORY_GPU_GPU = "GPU-GPU"
+CATEGORY_KERNELS = "KERNELS"
+
+
+@dataclass
+class Transfer:
+    """One scheduled DMA transfer."""
+
+    kind: TransferKind
+    nbytes: int
+    src_device: int | None
+    dst_device: int | None
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def category(self) -> str:
+        return CATEGORY_GPU_GPU if self.kind == "p2p" else CATEGORY_CPU_GPU
+
+
+class Bus:
+    """Link-time scheduler for one machine's PCIe topology."""
+
+    def __init__(self, machine: MachineSpec, clock: VirtualClock) -> None:
+        self.machine = machine
+        self.spec: BusSpec = machine.bus
+        self.clock = clock
+        #: Virtual time at which each GPU's PCIe link becomes free.
+        self._link_free_at: list[float] = [0.0] * machine.gpu_count
+        #: Virtual time at which each I/O hub's host uplink frees up.
+        n_hubs = 1 + max((machine.hub_of(g) for g in range(machine.gpu_count)),
+                         default=0)
+        self._hub_free_at: list[float] = [0.0] * n_hubs
+        self._pending: list[Transfer] = []
+        self.completed: list[Transfer] = []
+
+    # -- pricing ------------------------------------------------------------
+
+    def _duration(self, kind: TransferKind, nbytes: int, src: int | None, dst: int | None) -> float:
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        if kind == "h2d":
+            bw = self.spec.h2d_bandwidth
+        elif kind == "d2h":
+            bw = self.spec.d2h_bandwidth
+        else:
+            assert src is not None and dst is not None
+            same_hub = self.machine.hub_of(src) == self.machine.hub_of(dst)
+            bw = self.spec.p2p_same_hub if same_hub else self.spec.p2p_cross_hub
+        return self.spec.latency + nbytes / bw
+
+    def _schedule(
+        self, kind: TransferKind, nbytes: int, src: int | None, dst: int | None
+    ) -> Transfer:
+        links = [d for d in (src, dst) if d is not None]
+        duration = self._duration(kind, nbytes, src, dst)
+        start = max([self.clock.now] + [self._link_free_at[d] for d in links])
+        hub = None
+        hub_occupancy = 0.0
+        if kind in ("h2d", "d2h") and links:
+            # Host transfers also consume the shared I/O-hub uplink, for a
+            # fraction of their duration equal to link/uplink bandwidth:
+            # concurrent same-hub transfers serialize on that share.
+            hub = self.machine.hub_of(links[0])
+            link_bw = (self.spec.h2d_bandwidth if kind == "h2d"
+                       else self.spec.d2h_bandwidth)
+            hub_occupancy = duration * min(
+                1.0, link_bw / self.spec.hub_uplink_bandwidth)
+            start = max(start, self._hub_free_at[hub])
+        end = start + duration
+        for d in links:
+            self._link_free_at[d] = end
+        if hub is not None:
+            self._hub_free_at[hub] = start + hub_occupancy
+        t = Transfer(kind=kind, nbytes=nbytes, src_device=src, dst_device=dst, start=start, end=end)
+        self._pending.append(t)
+        return t
+
+    # -- public API ----------------------------------------------------------
+
+    def h2d(self, device: int, nbytes: int) -> Transfer:
+        """Queue a host-to-device copy on ``device``'s link."""
+        self._check_device(device)
+        return self._schedule("h2d", nbytes, None, device)
+
+    def d2h(self, device: int, nbytes: int) -> Transfer:
+        """Queue a device-to-host copy on ``device``'s link."""
+        self._check_device(device)
+        return self._schedule("d2h", nbytes, device, None)
+
+    def p2p(self, src: int, dst: int, nbytes: int) -> Transfer:
+        """Queue a direct GPU-to-GPU copy occupying both links."""
+        self._check_device(src)
+        self._check_device(dst)
+        if src == dst:
+            raise ValueError("peer copy requires distinct devices")
+        return self._schedule("p2p", nbytes, src, dst)
+
+    def sync(self, category: str | None = None) -> float:
+        """Wait for all queued transfers; advance the clock to the makespan.
+
+        Returns the makespan seconds of this batch (0 if nothing was
+        pending or everything already completed).  The advanced wall
+        time is attributed to ``category`` (or each transfer's own
+        category bucket when the batch is homogeneous and ``category``
+        is None).
+        """
+        if not self._pending:
+            return 0.0
+        finish = max(t.end for t in self._pending)
+        if category is None:
+            cats = {t.category for t in self._pending}
+            if len(cats) != 1:
+                raise ValueError(
+                    "mixed-category transfer batch requires an explicit category"
+                )
+            category = cats.pop()
+        before = self.clock.now
+        self.clock.advance_to(finish, category)
+        makespan = self.clock.now - before
+        self.completed.extend(self._pending)
+        self._pending.clear()
+        return makespan
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def bytes_moved(self, kind: TransferKind | None = None) -> int:
+        """Total completed bytes, optionally filtered by kind."""
+        return sum(t.nbytes for t in self.completed if kind is None or t.kind == kind)
+
+    def _check_device(self, device: int) -> None:
+        if not (0 <= device < self.machine.gpu_count):
+            raise ValueError(
+                f"device {device} out of range for {self.machine.name} "
+                f"({self.machine.gpu_count} GPUs)"
+            )

@@ -1,0 +1,76 @@
+"""Virtual time base for the simulated CUDA platform.
+
+Every component of the virtual platform (devices, the PCIe bus, the
+host CPU model) advances a shared :class:`VirtualClock` instead of
+reading wall-clock time.  Benchmarks therefore report *modeled* time:
+deterministic, hardware-independent, and directly comparable between
+program versions, which is what the paper's Figures 7-9 require.
+
+The clock supports hierarchical *categories* so the profiler can split
+total time into the paper's Fig. 8 buckets (``KERNELS``, ``CPU-GPU``,
+``GPU-GPU``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VirtualClock:
+    """A monotonically advancing simulated clock.
+
+    Time is kept in seconds as a float.  Components call
+    :meth:`advance` for serialized work and :meth:`advance_to` when an
+    asynchronous operation completes at a known absolute time.
+    """
+
+    now: float = 0.0
+    #: Total advanced time per category label (seconds).
+    categories: dict[str, float] = field(default_factory=dict)
+
+    def advance(self, seconds: float, category: str | None = None) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        ``seconds`` must be non-negative; a negative advance indicates a
+        bug in a cost model and raises ``ValueError``.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        self.now += seconds
+        if category is not None:
+            self.categories[category] = self.categories.get(category, 0.0) + seconds
+        return self.now
+
+    def advance_to(self, timestamp: float, category: str | None = None) -> float:
+        """Advance the clock to ``timestamp`` if it is in the future.
+
+        Used when waiting on asynchronous operations: waiting on an
+        event that already completed costs nothing.
+        """
+        if timestamp > self.now:
+            delta = timestamp - self.now
+            self.now = timestamp
+            if category is not None:
+                self.categories[category] = self.categories.get(category, 0.0) + delta
+        return self.now
+
+    def charge(self, seconds: float, category: str) -> None:
+        """Attribute ``seconds`` to ``category`` without moving the clock.
+
+        Used for work that overlapped with already-accounted time (e.g.
+        concurrent transfers whose union was charged via
+        :meth:`advance_to`).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds!r}")
+        self.categories[category] = self.categories.get(category, 0.0) + seconds
+
+    def elapsed_in(self, category: str) -> float:
+        """Total seconds attributed to ``category`` so far."""
+        return self.categories.get(category, 0.0)
+
+    def reset(self) -> None:
+        """Zero the clock and all category accumulators."""
+        self.now = 0.0
+        self.categories.clear()

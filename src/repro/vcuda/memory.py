@@ -1,0 +1,181 @@
+"""Device memory: buffers and a byte-accounted allocator.
+
+The paper's Fig. 9 reports, per application and per GPU count, how much
+device memory holds *user* data (the program's arrays, including
+replicas) versus *system* data (dirty-bit arrays, write-miss buffers,
+reduction scratch).  The allocator therefore tags every allocation with
+a purpose and keeps running and high-water totals per purpose.
+
+Buffers are plain NumPy arrays underneath -- the hpc-parallel guides'
+advice to keep data in contiguous vectorizable storage applies to the
+simulated device memory exactly as it would to real pinned host memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+#: Allocation purposes recognized by the accounting (Fig. 9 buckets).
+PURPOSE_USER = "user"
+PURPOSE_SYSTEM = "system"
+_PURPOSES = (PURPOSE_USER, PURPOSE_SYSTEM)
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Raised when an allocation exceeds the device's capacity."""
+
+
+@dataclass
+class DeviceBuffer:
+    """A contiguous allocation in one GPU's memory.
+
+    ``data`` is the backing NumPy array.  ``base`` records which global
+    index of the source host array element 0 of this buffer corresponds
+    to; the translator's index rewriting (paper section IV-B3) subtracts
+    it when a kernel accesses a partially-loaded array.
+    """
+
+    name: str
+    data: np.ndarray
+    device_index: int
+    purpose: str = PURPOSE_USER
+    base: int = 0
+    #: True once freed; guards use-after-free in tests.
+    freed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def check_alive(self) -> None:
+        if self.freed:
+            raise RuntimeError(f"use of freed device buffer {self.name!r}")
+
+    def view(self) -> np.ndarray:
+        """The live array contents (a view, per the guides: not a copy)."""
+        self.check_alive()
+        return self.data
+
+
+@dataclass
+class MemoryAccountant:
+    """Tracks live and high-water bytes per purpose for one device."""
+
+    capacity: int
+    live: dict[str, int] = field(default_factory=lambda: {p: 0 for p in _PURPOSES})
+    high_water: dict[str, int] = field(default_factory=lambda: {p: 0 for p in _PURPOSES})
+
+    @property
+    def live_total(self) -> int:
+        return sum(self.live.values())
+
+    @property
+    def high_water_total(self) -> int:
+        """Peak of the *sum*, tracked at allocation time."""
+        return self._peak_total
+
+    _peak_total: int = 0
+
+    def allocate(self, nbytes: int, purpose: str) -> None:
+        if purpose not in _PURPOSES:
+            raise ValueError(f"unknown allocation purpose {purpose!r}")
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.live_total + nbytes > self.capacity:
+            raise OutOfDeviceMemory(
+                f"allocation of {nbytes} bytes exceeds device capacity "
+                f"({self.live_total} of {self.capacity} in use)"
+            )
+        self.live[purpose] += nbytes
+        self.high_water[purpose] = max(self.high_water[purpose], self.live[purpose])
+        self._peak_total = max(self._peak_total, self.live_total)
+
+    def free(self, nbytes: int, purpose: str) -> None:
+        if purpose not in _PURPOSES:
+            raise ValueError(f"unknown allocation purpose {purpose!r}")
+        if nbytes > self.live[purpose]:
+            raise RuntimeError(
+                f"double free: releasing {nbytes} {purpose} bytes with only "
+                f"{self.live[purpose]} live"
+            )
+        self.live[purpose] -= nbytes
+
+
+class DeviceMemory:
+    """Allocator facade for one device.
+
+    Allocations return :class:`DeviceBuffer`; all byte accounting flows
+    through a :class:`MemoryAccountant` so Fig. 9 can be regenerated
+    from high-water marks.
+    """
+
+    def __init__(self, device_index: int, capacity: int) -> None:
+        self.device_index = device_index
+        self.accountant = MemoryAccountant(capacity=capacity)
+        self._buffers: list[DeviceBuffer] = []
+
+    def alloc(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+        purpose: str = PURPOSE_USER,
+        base: int = 0,
+        fill: float | int | None = None,
+    ) -> DeviceBuffer:
+        """Allocate a buffer; optionally fill it with a constant."""
+        arr = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            arr.fill(fill)
+        self.accountant.allocate(int(arr.nbytes), purpose)
+        buf = DeviceBuffer(
+            name=name,
+            data=arr,
+            device_index=self.device_index,
+            purpose=purpose,
+            base=base,
+        )
+        self._buffers.append(buf)
+        return buf
+
+    def alloc_like(
+        self, name: str, host_array: np.ndarray, purpose: str = PURPOSE_USER
+    ) -> DeviceBuffer:
+        """Allocate a buffer shaped like ``host_array`` and copy it in.
+
+        This is a pure allocation primitive -- transfer *time* is the
+        bus's job, so callers that care about timing must route the copy
+        through :class:`repro.vcuda.bus.Bus`.
+        """
+        buf = self.alloc(name, host_array.shape, host_array.dtype, purpose=purpose)
+        np.copyto(buf.data, host_array)
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        if buf.device_index != self.device_index:
+            raise ValueError("buffer belongs to a different device")
+        buf.check_alive()
+        self.accountant.free(buf.nbytes, buf.purpose)
+        buf.freed = True
+        self._buffers.remove(buf)
+
+    def free_all(self) -> None:
+        """Release every live buffer (device reset)."""
+        for buf in list(self._buffers):
+            self.free(buf)
+
+    def live_buffers(self) -> Iterator[DeviceBuffer]:
+        return iter(self._buffers)
+
+    @property
+    def live_bytes(self) -> int:
+        return self.accountant.live_total
+
+    def live_bytes_of(self, purpose: str) -> int:
+        return self.accountant.live[purpose]
+
+    def high_water_of(self, purpose: str) -> int:
+        return self.accountant.high_water[purpose]

@@ -1,0 +1,218 @@
+"""Hardware specifications for the virtual platform.
+
+These mirror Table I of the paper: a desktop machine (one Core i7, two
+Tesla C2075 GPUs) and a TSUBAME2.0 thin node (two Xeon X5670, three
+Tesla M2050 GPUs).  Peak numbers come from the vendor datasheets of the
+2011-era parts; the cost models in :mod:`repro.vcuda.device` and
+:mod:`repro.cpu.openmp` apply efficiency factors on top of these peaks.
+
+All bandwidths are bytes/second, frequencies in Hz, capacities in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GB = 1024**3
+MB = 1024**2
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU device."""
+
+    name: str
+    #: Number of CUDA cores (Fermi: 32 per SM).
+    cuda_cores: int
+    #: Number of streaming multiprocessors.
+    sm_count: int
+    #: Shader clock in Hz.
+    clock_hz: float
+    #: Peak single-precision throughput in FLOP/s.
+    peak_sp_flops: float
+    #: Peak device-memory bandwidth in bytes/s.
+    mem_bandwidth: float
+    #: Device memory capacity in bytes.
+    mem_capacity: int
+    #: Fixed kernel-launch overhead in seconds.
+    launch_overhead: float = 8e-6
+    #: Fraction of peak memory bandwidth achieved by coalesced streams.
+    coalesced_efficiency: float = 0.75
+    #: Fraction of peak bandwidth achieved by uncoalesced/random access
+    #: (applied to the cost model's already-inflated random byte counts;
+    #: Fermi's L2/texture caches keep scattered gathers well above the
+    #: worst case).
+    random_efficiency: float = 0.50
+    #: Fraction of peak FLOP/s achieved by typical compiled kernels.
+    compute_efficiency: float = 0.55
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of one CPU socket."""
+
+    name: str
+    cores: int
+    #: Hardware threads per core (Hyper-Threading = 2).
+    threads_per_core: int
+    clock_hz: float
+    #: Single-precision FLOPs per cycle per core (SSE 4-wide, mul+add).
+    flops_per_cycle: float
+    #: Sustained memory bandwidth per socket in bytes/s.
+    mem_bandwidth: float
+    #: Parallel efficiency of the OpenMP runtime at full thread count.
+    omp_efficiency: float = 0.55
+
+    @property
+    def peak_sp_flops(self) -> float:
+        """Peak single-precision FLOP/s of the whole socket."""
+        return self.cores * self.clock_hz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """PCI-Express link characteristics.
+
+    ``p2p_same_hub`` applies between GPUs under one I/O hub (desktop);
+    ``p2p_cross_hub`` applies when a peer copy crosses the QPI between
+    the two I/O hubs of a dual-socket node (TSUBAME thin node), where
+    it is staged and noticeably slower -- this asymmetry is what makes
+    BFS's inter-GPU traffic a bottleneck on the supercomputer node in
+    the paper's Fig. 8.
+    """
+
+    name: str
+    #: Effective host<->device bandwidth per link, bytes/s.
+    h2d_bandwidth: float
+    d2h_bandwidth: float
+    #: Effective direct GPU<->GPU bandwidth, same I/O hub.
+    p2p_same_hub: float
+    #: Effective GPU<->GPU bandwidth when crossing QPI/IOH boundary.
+    p2p_cross_hub: float
+    #: Aggregate host<->device bandwidth through one I/O hub.  Concurrent
+    #: transfers to GPUs behind the same hub share this uplink; when it is
+    #: close to the per-link bandwidth they effectively serialize (the
+    #: TSUBAME thin node's two hub-0 GPUs), when it is ~2x they overlap
+    #: (the desktop).
+    hub_uplink_bandwidth: float = 12e9
+    #: Per-transfer latency in seconds (DMA setup + driver).
+    latency: float = 12e-6
+
+
+# ---------------------------------------------------------------------------
+# Catalogue of the parts in Table I.
+# ---------------------------------------------------------------------------
+
+TESLA_C2075 = GpuSpec(
+    name="Tesla C2075",
+    cuda_cores=448,
+    sm_count=14,
+    clock_hz=1.15e9,
+    peak_sp_flops=1030e9,
+    mem_bandwidth=144e9,
+    mem_capacity=6 * GB,
+)
+
+TESLA_M2050 = GpuSpec(
+    name="Tesla M2050",
+    cuda_cores=448,
+    sm_count=14,
+    clock_hz=1.15e9,
+    peak_sp_flops=1030e9,
+    mem_bandwidth=148e9,
+    mem_capacity=3 * GB,
+)
+
+CORE_I7_980 = CpuSpec(
+    name="Intel Core i7 (6C/12T)",
+    cores=6,
+    threads_per_core=2,
+    clock_hz=3.33e9,
+    flops_per_cycle=8.0,
+    mem_bandwidth=25.6e9,
+)
+
+XEON_X5670 = CpuSpec(
+    name="Intel Xeon X5670 (6C/12T)",
+    cores=6,
+    threads_per_core=2,
+    clock_hz=2.93e9,
+    flops_per_cycle=8.0,
+    mem_bandwidth=32e9,
+)
+
+PCIE_GEN2_DESKTOP = BusSpec(
+    name="PCIe 2.0 x16 (single IOH)",
+    h2d_bandwidth=5.8e9,
+    d2h_bandwidth=6.2e9,
+    p2p_same_hub=5.2e9,
+    p2p_cross_hub=5.2e9,  # single hub: never crossed
+    hub_uplink_bandwidth=20.0e9,  # X58: 36 gen2 lanes, two full x16 links
+)
+
+PCIE_GEN2_TSUBAME = BusSpec(
+    name="PCIe 2.0 x16 (dual IOH over QPI)",
+    h2d_bandwidth=5.6e9,
+    d2h_bandwidth=6.0e9,
+    p2p_same_hub=5.0e9,
+    p2p_cross_hub=2.2e9,
+    hub_uplink_bandwidth=10.0e9,
+    latency=16e-6,
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation platform of Table I.
+
+    ``gpu_hub`` assigns each GPU index to an I/O hub; peer transfers
+    between GPUs on different hubs use ``bus.p2p_cross_hub``.
+    """
+
+    name: str
+    cpu: CpuSpec
+    cpu_sockets: int
+    gpu: GpuSpec
+    gpu_count: int
+    bus: BusSpec
+    gpu_hub: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.gpu_hub and len(self.gpu_hub) != self.gpu_count:
+            raise ValueError("gpu_hub must list one hub id per GPU")
+
+    def hub_of(self, gpu_index: int) -> int:
+        """I/O hub id hosting GPU ``gpu_index`` (default: hub 0)."""
+        if not self.gpu_hub:
+            return 0
+        return self.gpu_hub[gpu_index]
+
+    @property
+    def total_cpu_threads(self) -> int:
+        return self.cpu_sockets * self.cpu.cores * self.cpu.threads_per_core
+
+
+DESKTOP_MACHINE = MachineSpec(
+    name="Desktop Machine",
+    cpu=CORE_I7_980,
+    cpu_sockets=1,
+    gpu=TESLA_C2075,
+    gpu_count=2,
+    bus=PCIE_GEN2_DESKTOP,
+    gpu_hub=(0, 0),
+)
+
+SUPERCOMPUTER_NODE = MachineSpec(
+    name="Supercomputer Node (TSUBAME2.0 thin node)",
+    cpu=XEON_X5670,
+    cpu_sockets=2,
+    gpu=TESLA_M2050,
+    gpu_count=3,
+    bus=PCIE_GEN2_TSUBAME,
+    gpu_hub=(0, 0, 1),
+)
+
+MACHINES = {
+    "desktop": DESKTOP_MACHINE,
+    "supercomputer": SUPERCOMPUTER_NODE,
+}

@@ -1,0 +1,10 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture
+def desktop():
+    from repro.vcuda import DESKTOP_MACHINE, Platform
+
+    return Platform(DESKTOP_MACHINE, 2)

@@ -1,0 +1,128 @@
+"""Benchmark-harness tests: the regenerated artifacts carry the paper's
+qualitative structure even at the small 'test' workload."""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.bench import (
+    fig7,
+    fig8,
+    fig9,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    render_table2,
+    run_version,
+    table1,
+    table2,
+)
+
+SMALL = {"md": ALL_APPS["md"]}
+
+
+class TestVersionRunner:
+    @pytest.mark.parametrize("version,ngpus", [("openmp", 1), ("pgi", 1),
+                                               ("cuda", 1), ("proposal", 2)])
+    def test_runs_with_check(self, version, ngpus):
+        r = run_version(ALL_APPS["md"], version, "desktop", ngpus=ngpus,
+                        workload="tiny", check=True)
+        assert r.elapsed > 0
+        assert r.label in ("OpenMP", "PGI(1)", "CUDA(1)", "Proposal(2)")
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            run_version(ALL_APPS["md"], "magic", "desktop")
+
+    def test_proposal_reports_memory(self):
+        r = run_version(ALL_APPS["bfs"], "proposal", "desktop", ngpus=2,
+                        workload="tiny")
+        assert r.mem_user > 0 and r.mem_system > 0
+
+
+class TestFig7:
+    def test_structure(self):
+        rows = fig7("desktop", apps=SMALL, workload="test")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.relative["OpenMP"] == 1.0
+        for label in ("PGI(1)", "CUDA(1)", "Proposal(1)", "Proposal(2)"):
+            assert label in row.relative
+
+    def test_supercomputer_has_three_gpus(self):
+        rows = fig7("supercomputer", apps=SMALL, workload="test")
+        assert "Proposal(3)" in rows[0].relative
+
+    def test_render(self):
+        text = render_fig7(fig7("desktop", apps=SMALL, workload="test"))
+        assert "md" in text and "Proposal(2)" in text
+
+
+class TestFig8:
+    def test_normalized_to_single_gpu(self):
+        rows = fig8("desktop", apps=SMALL, workload="test")
+        one = next(r for r in rows if r.ngpus == 1)
+        assert one.total == pytest.approx(1.0, rel=1e-6)
+
+    def test_md_has_no_gpu_gpu_bucket(self):
+        rows = fig8("desktop", apps=SMALL, workload="test")
+        assert all(r.gpu_gpu == 0.0 for r in rows)
+
+    def test_render(self):
+        text = render_fig8(fig8("desktop", apps=SMALL, workload="test"))
+        assert "KERNELS" in text
+
+
+class TestFig9:
+    def test_normalized(self):
+        rows = fig9("desktop", apps=SMALL, workload="test")
+        one = next(r for r in rows if r.ngpus == 1)
+        assert one.total == pytest.approx(1.0, rel=1e-6)
+
+    def test_user_memory_grows_slowly(self):
+        rows = fig9("desktop", apps=SMALL, workload="test")
+        two = next(r for r in rows if r.ngpus == 2)
+        assert two.user < 1.5  # far from 2.0 = full replication
+
+    def test_render(self):
+        text = render_fig9(fig9("desktop", apps=SMALL, workload="test"))
+        assert "System" in text
+
+
+class TestTables:
+    def test_table1_lists_both_machines(self):
+        rows = table1()
+        names = [r.machine for r in rows]
+        assert any("Desktop" in n for n in names)
+        assert any("TSUBAME" in n or "Supercomputer" in n for n in names)
+        text = render_table1(rows)
+        assert "Tesla C2075" in text
+
+    def test_table2_matches_paper_columns(self):
+        rows = table2(workload="tiny")
+        by_app = {r.app: r for r in rows}
+        # Column B (parallel loops) and D (localaccess fractions) must
+        # match the paper exactly; they are structural.
+        for app, row in by_app.items():
+            assert row.parallel_loops == row.paper_parallel_loops, app
+            assert row.localaccess == row.paper_localaccess, app
+        # Column A recomputed from the paper's input shapes must land
+        # within 10% of the reported MB.
+        for app, row in by_app.items():
+            assert row.computed_paper_mb == pytest.approx(
+                row.paper_mb, rel=0.10), app
+
+    def test_table2_render(self):
+        text = render_table2(table2(workload="tiny"))
+        assert "kddcup" in text and "2/5" in text
+
+
+class TestBenchCli:
+    def test_main_prints_all_tables(self, capsys):
+        from repro.bench.__main__ import main
+
+        rc = main(["--workload", "tiny", "--machine", "desktop"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for marker in ("Table I", "Table II", "Fig. 7", "Fig. 8", "Fig. 9"):
+            assert marker in out

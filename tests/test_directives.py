@@ -1,0 +1,248 @@
+"""OpenACC directive parsing tests, including the paper's extensions."""
+
+import pytest
+
+from repro.frontend import cast as C
+from repro.frontend.directives import (
+    AccCache,
+    AccData,
+    AccLocalAccess,
+    AccLoop,
+    AccParallel,
+    AccReductionToArray,
+    AccUpdate,
+    DirectiveError,
+    parse_pragma,
+)
+
+
+def p(text):
+    return parse_pragma(text, line=1)
+
+
+class TestDataDirective:
+    def test_copy_clause(self):
+        d = p("acc data copy(a[0:n])")
+        assert isinstance(d, AccData)
+        assert d.clauses[0].kind == "copy"
+        sec = d.clauses[0].sections[0]
+        assert sec.name == "a"
+        assert isinstance(sec.start, C.IntLit)
+        assert isinstance(sec.length, C.Ident)
+
+    def test_multiple_clauses(self):
+        d = p("acc data copyin(x[0:n], y[0:n]) copyout(z[0:n]) create(t[0:n])")
+        assert [c.kind for c in d.clauses] == ["copyin", "copyout", "create"]
+        assert len(d.clauses[0].sections) == 2
+
+    def test_bare_array_section(self):
+        d = p("acc data copy(a)")
+        assert d.clauses[0].sections[0].start is None
+
+    def test_present_clause(self):
+        d = p("acc data present(a[0:n])")
+        assert d.clauses[0].kind == "present"
+
+    def test_pcopy_normalized(self):
+        d = p("acc data pcopyin(a[0:n])")
+        assert d.clauses[0].kind == "copyin"
+
+    def test_data_without_clause_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc data")
+
+    def test_expression_bounds(self):
+        d = p("acc data copy(a[i*2 : n-1])")
+        sec = d.clauses[0].sections[0]
+        assert isinstance(sec.start, C.BinOp)
+
+
+class TestParallelDirective:
+    def test_bare_parallel(self):
+        d = p("acc parallel")
+        assert isinstance(d, AccParallel) and d.construct == "parallel"
+        assert d.fused_loop is None
+
+    def test_kernels(self):
+        assert p("acc kernels").construct == "kernels"
+
+    def test_parallel_with_data_clauses(self):
+        d = p("acc parallel copyin(x[0:n]) copy(y[0:n])")
+        assert len(d.clauses) == 2
+
+    def test_fused_parallel_loop(self):
+        d = p("acc parallel loop gang copyin(x[0:n])")
+        assert d.fused_loop is not None
+        assert d.fused_loop.gang
+
+    def test_fused_loop_reduction(self):
+        d = p("acc parallel loop reduction(+:total)")
+        assert d.fused_loop.reductions[0].op == "+"
+        assert d.fused_loop.reductions[0].variables == ["total"]
+
+    def test_num_gangs(self):
+        d = p("acc parallel num_gangs(64)")
+        assert isinstance(d.num_gangs, C.IntLit)
+
+    def test_vector_length(self):
+        d = p("acc parallel vector_length(128)")
+        assert d.vector_length is not None
+
+    def test_async_flag(self):
+        assert p("acc parallel async").is_async
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc parallel bogus(x)")
+
+
+class TestLoopDirective:
+    def test_gang_worker_vector(self):
+        d = p("acc loop gang worker vector")
+        assert d.gang and d.worker and d.vector
+
+    def test_independent_seq(self):
+        assert p("acc loop independent").independent
+        assert p("acc loop seq").seq
+
+    def test_reduction_ops(self):
+        for op in ("+", "*", "max", "min", "&", "|", "&&", "||"):
+            d = p(f"acc loop reduction({op}:v)")
+            assert d.reductions[0].op == op
+
+    def test_reduction_multiple_vars(self):
+        d = p("acc loop reduction(+:a, b)")
+        assert d.reductions[0].variables == ["a", "b"]
+
+    def test_invalid_reduction_op(self):
+        with pytest.raises(DirectiveError):
+            p("acc loop reduction(-:v)")
+
+    def test_private_clause(self):
+        d = p("acc loop private(t, u)")
+        assert d.private == ["t", "u"]
+
+    def test_unknown_loop_clause(self):
+        with pytest.raises(DirectiveError):
+            p("acc loop collapse(2)")
+
+
+class TestUpdateDirective:
+    def test_host(self):
+        d = p("acc update host(a[0:n])")
+        assert isinstance(d, AccUpdate)
+        assert d.host[0].name == "a" and d.device == []
+
+    def test_self_is_host(self):
+        assert p("acc update self(a)").host[0].name == "a"
+
+    def test_device(self):
+        assert p("acc update device(b)").device[0].name == "b"
+
+    def test_both(self):
+        d = p("acc update host(a) device(b)")
+        assert d.host and d.device
+
+    def test_empty_update_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc update")
+
+
+class TestCacheDirective:
+    def test_parsed(self):
+        d = p("acc cache(a[0:64])")
+        assert isinstance(d, AccCache)
+        assert d.sections[0].name == "a"
+
+
+class TestLocalAccess:
+    def test_stride_full_form(self):
+        d = p("acc localaccess x[stride(3, 1, 2)]")
+        assert isinstance(d, AccLocalAccess)
+        spec = d.entries["x"]
+        assert spec.kind == "stride"
+        assert spec.stride.value == 3
+        assert spec.left.value == 1
+        assert spec.right.value == 2
+
+    def test_stride_defaults(self):
+        spec = p("acc localaccess x[stride(1)]").entries["x"]
+        assert spec.left.value == 0 and spec.right.value == 0
+
+    def test_stride_symbolic(self):
+        spec = p("acc localaccess f[stride(nfeatures)]").entries["f"]
+        assert isinstance(spec.stride, C.Ident)
+
+    def test_all_spec(self):
+        assert p("acc localaccess x[all]").entries["x"].kind == "all"
+
+    def test_range_spec(self):
+        spec = p("acc localaccess x[range(0, n*m)]").entries["x"]
+        assert spec.kind == "range"
+        assert isinstance(spec.hi, C.BinOp)
+
+    def test_bounds_spec_with_array_reads(self):
+        spec = p("acc localaccess col[bounds(row[u], row[u+1] - 1)]") \
+            .entries["col"]
+        assert spec.kind == "bounds"
+        assert isinstance(spec.lo, C.Index)
+
+    def test_multiple_entries_bare(self):
+        d = p("acc localaccess a[stride(1)] b[stride(2)]")
+        assert set(d.entries) == {"a", "b"}
+
+    def test_multiple_entries_parenthesized(self):
+        d = p("acc localaccess(a[stride(1)], b[all])")
+        assert set(d.entries) == {"a", "b"}
+
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc localaccess a[stride(1)] a[all]")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc localaccess()")
+
+    def test_too_many_stride_args(self):
+        with pytest.raises(DirectiveError):
+            p("acc localaccess x[stride(1, 2, 3, 4)]")
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc localaccess x[banana(1)]")
+
+
+class TestReductionToArray:
+    def test_basic(self):
+        d = p("acc reductiontoarray(+: errors[0:k])")
+        assert isinstance(d, AccReductionToArray)
+        assert d.op == "+"
+        assert d.array == "errors"
+        assert isinstance(d.length, C.Ident)
+
+    def test_max_op(self):
+        assert p("acc reductiontoarray(max: m[0:8])").op == "max"
+
+    def test_without_section_bounds(self):
+        d = p("acc reductiontoarray(+: c)")
+        assert d.array == "c" and d.start is None
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(DirectiveError):
+            p("acc reductiontoarray(-: a[0:4])")
+
+
+class TestMisc:
+    def test_non_acc_returns_none(self):
+        assert p("omp parallel for") is None
+        assert p("once") is None
+
+    def test_unknown_acc_directive(self):
+        with pytest.raises(DirectiveError):
+            p("acc banana")
+
+    def test_unsupported_acc_directive_named(self):
+        with pytest.raises(DirectiveError):
+            p("acc wait")
+        with pytest.raises(DirectiveError):
+            p("acc host_data use_device(a)")

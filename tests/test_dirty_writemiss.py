@@ -1,0 +1,145 @@
+"""Two-level dirty bits and write-miss buffer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.dirty import TwoLevelDirty
+from repro.runtime.writemiss import (
+    MissBufferOverflow,
+    RECORD_BYTES,
+    WriteMissBuffer,
+)
+from repro.vcuda.memory import DeviceMemory, PURPOSE_SYSTEM
+
+
+class TestTwoLevelDirty:
+    def make(self, n=1000, itemsize=4, chunk_bytes=64):
+        return TwoLevelDirty("a", n, itemsize, chunk_bytes=chunk_bytes)
+
+    def test_initially_clean(self):
+        d = self.make()
+        assert not d.any_dirty
+        assert d.dirty_chunks().size == 0
+        assert d.transfer_bytes() == 0
+
+    def test_mark_sets_both_levels(self):
+        d = self.make()  # 16 elems/chunk
+        d.mark(np.array([5, 17]))
+        assert d.element_bits[5] == 1 and d.element_bits[17] == 1
+        np.testing.assert_array_equal(d.dirty_chunks(), [0, 1])
+
+    def test_dirty_elements_scan(self):
+        d = self.make()
+        idx = np.array([3, 100, 999])
+        d.mark(idx)
+        np.testing.assert_array_equal(d.dirty_elements(), [3, 100, 999])
+
+    def test_transfer_at_chunk_granularity(self):
+        d = self.make(n=1000, itemsize=4, chunk_bytes=64)
+        d.mark(np.array([0]))  # one dirty element -> one whole chunk
+        assert d.transfer_bytes() == 64
+
+    def test_last_partial_chunk(self):
+        d = self.make(n=20, itemsize=4, chunk_bytes=64)  # chunk=16 elems
+        d.mark(np.array([19]))
+        assert d.transfer_bytes() == 4 * (20 - 16)
+
+    def test_clear(self):
+        d = self.make()
+        d.mark(np.array([1, 2, 3]))
+        d.clear()
+        assert not d.any_dirty
+        assert d.dirty_elements().size == 0
+
+    def test_out_of_range_mark_rejected(self):
+        d = self.make(n=10)
+        with pytest.raises(IndexError):
+            d.mark(np.array([10]))
+        with pytest.raises(IndexError):
+            d.mark(np.array([-1]))
+
+    def test_scalar_mark(self):
+        d = self.make()
+        d.mark(np.int64(7))
+        assert d.element_bits[7] == 1
+
+    def test_device_memory_accounted_as_system(self):
+        mem = DeviceMemory(0, 1 << 20)
+        d = TwoLevelDirty("a", 1000, 4, memory=mem, chunk_bytes=64)
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) > 0
+        d.release(mem)
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) == 0
+
+    def test_chunk_smaller_than_item_rejected(self):
+        with pytest.raises(ValueError):
+            TwoLevelDirty("a", 10, 8, chunk_bytes=4)
+
+    @given(st.lists(st.integers(0, 499), min_size=1, max_size=60),
+           st.sampled_from([16, 64, 256, 1024]))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, indices, chunk_bytes):
+        d = TwoLevelDirty("a", 500, 4, chunk_bytes=chunk_bytes)
+        d.mark(np.array(indices))
+        elems = d.dirty_elements()
+        # Exactly the marked set, sorted unique.
+        np.testing.assert_array_equal(elems, np.unique(indices))
+        # Every dirty element's chunk has its summary bit set, and
+        # transfer bytes cover at least the dirty elements.
+        epc = d.elems_per_chunk
+        assert set(np.unique(np.array(indices) // epc)) == \
+            set(d.dirty_chunks().tolist())
+        assert d.transfer_bytes() >= elems.size * 4
+
+
+class TestWriteMissBuffer:
+    def test_record_and_drain(self):
+        b = WriteMissBuffer("a", capacity=16)
+        b.record(np.array([1, 2]), np.array([10.0, 20.0]), "")
+        b.record(np.array([3]), np.array([30.0]), "+")
+        assert b.count == 3
+        drained = b.drain()
+        assert len(drained) == 2
+        assert drained[1][2] == "+"
+        assert b.count == 0
+
+    def test_scalar_value_broadcast(self):
+        b = WriteMissBuffer("a", capacity=16)
+        b.record(np.array([1, 2, 3]), np.float32(5.0), "")
+        addrs, vals, _ = b.drain()[0]
+        assert vals.shape == (3,)
+        assert (vals == 5.0).all()
+
+    def test_growth(self):
+        b = WriteMissBuffer("a", capacity=2)
+        b.record(np.arange(5), np.arange(5.0), "")
+        assert b.capacity >= 5
+        assert b.high_water == 5
+
+    def test_overflow_without_growth(self):
+        b = WriteMissBuffer("a", capacity=2, allow_growth=False)
+        with pytest.raises(MissBufferOverflow):
+            b.record(np.arange(5), np.arange(5.0), "")
+
+    def test_empty_record_is_noop(self):
+        b = WriteMissBuffer("a", capacity=4)
+        b.record(np.empty(0, np.int64), np.empty(0), "")
+        assert b.count == 0
+
+    def test_record_bytes(self):
+        b = WriteMissBuffer("a", capacity=16)
+        b.record(np.arange(3), np.arange(3.0), "")
+        assert b.record_bytes == 3 * RECORD_BYTES
+
+    def test_device_memory_accounting(self):
+        mem = DeviceMemory(0, 1 << 20)
+        b = WriteMissBuffer("a", capacity=4, memory=mem)
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) == 4 * RECORD_BYTES
+        b.record(np.arange(10), np.arange(10.0), "")  # forces growth
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) > 4 * RECORD_BYTES
+        b.release()
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            WriteMissBuffer("a", capacity=0)

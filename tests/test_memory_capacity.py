@@ -1,0 +1,92 @@
+"""The paper's capacity claim: "Utilization of multiple GPUs increases
+not only the number of cores but also the total amount of GPU memories,
+so some applications which have large input data are benefited"
+(section I), and "the applications with the proposed system can benefit
+from the larger amount of GPU memory by using multiple GPUs" (V-B1,
+about BFS on the supercomputer node)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.vcuda import GpuSpec, MachineSpec, OutOfDeviceMemory
+from repro.vcuda.specs import CORE_I7_980, PCIE_GEN2_DESKTOP
+
+
+def tiny_machine(capacity_bytes: int, gpu_count: int = 3) -> MachineSpec:
+    gpu = GpuSpec(
+        name=f"Tiny-{capacity_bytes}", cuda_cores=448, sm_count=14,
+        clock_hz=1.15e9, peak_sp_flops=1030e9, mem_bandwidth=144e9,
+        mem_capacity=capacity_bytes)
+    return MachineSpec(
+        name="tiny", cpu=CORE_I7_980, cpu_sockets=1, gpu=gpu,
+        gpu_count=gpu_count, bus=PCIE_GEN2_DESKTOP,
+        gpu_hub=tuple(0 for _ in range(gpu_count)))
+
+
+DISTRIBUTED_SRC = """
+void scale(int n, float *x, float *y) {
+  #pragma acc data copyin(x[0:n]) copyout(y[0:n])
+  {
+    #pragma acc parallel
+    {
+      #pragma acc localaccess x[stride(1)] y[stride(1)]
+      #pragma acc loop gang
+      for (int i = 0; i < n; i++) { y[i] = 2.0f * x[i]; }
+    }
+  }
+}
+"""
+
+REPLICATED_SRC = """
+void scale(int n, float *x, float *y) {
+  #pragma acc data copyin(x[0:n]) copyout(y[0:n])
+  {
+    #pragma acc parallel
+    {
+      #pragma acc loop gang
+      for (int i = 0; i < n; i++) { y[i] = 2.0f * x[i]; }
+    }
+  }
+}
+"""
+
+
+class TestCapacityBenefit:
+    N = 4096  # 2 arrays x 16 KiB = 32 KiB of user data
+
+    def args(self):
+        return {"n": self.N,
+                "x": np.ones(self.N, dtype=np.float32),
+                "y": np.zeros(self.N, dtype=np.float32)}
+
+    def test_too_big_for_one_gpu_fits_on_two(self):
+        machine = tiny_machine(24 << 10)  # 24 KiB per GPU
+        prog = repro.compile(DISTRIBUTED_SRC)
+        with pytest.raises(OutOfDeviceMemory):
+            prog.run("scale", self.args(), machine=machine, ngpus=1)
+        args = self.args()
+        run = prog.run("scale", args, machine=machine, ngpus=2)
+        assert (args["y"] == 2.0).all()
+        # Each GPU held only its block: half the data per device.
+        per_gpu = max(d.memory.high_water_of("user")
+                      for d in run.platform.devices)
+        assert per_gpu <= (self.N * 4 * 2) // 2
+
+    def test_replication_does_not_gain_capacity(self):
+        # Without localaccess the arrays replicate: adding GPUs does NOT
+        # help capacity -- the contrast that motivates distribution.
+        machine = tiny_machine(24 << 10)
+        prog = repro.compile(REPLICATED_SRC)
+        for g in (1, 2, 3):
+            with pytest.raises(OutOfDeviceMemory):
+                prog.run("scale", self.args(), machine=machine, ngpus=g)
+
+    def test_three_gpus_fit_even_less_per_device(self):
+        machine = tiny_machine(15 << 10)  # 15 KiB per GPU
+        prog = repro.compile(DISTRIBUTED_SRC)
+        with pytest.raises(OutOfDeviceMemory):
+            prog.run("scale", self.args(), machine=machine, ngpus=2)
+        args = self.args()
+        prog.run("scale", args, machine=machine, ngpus=3)
+        assert (args["y"] == 2.0).all()

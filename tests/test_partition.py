@@ -1,0 +1,173 @@
+"""Task/array partitioning tests (+ hypothesis invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.parser import parse_expr
+from repro.runtime.partition import (
+    Block,
+    PartitionError,
+    make_window_evaluator,
+    owner_of,
+    primary_blocks,
+    split_tasks,
+    window_for_tasks,
+)
+from repro.translator.array_config import ReadWindow
+
+
+class TestSplitTasks:
+    def test_even_split(self):
+        assert split_tasks(0, 12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_first(self):
+        assert split_tasks(0, 10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_offset_range(self):
+        assert split_tasks(5, 11, 2) == [(5, 8), (8, 11)]
+
+    def test_more_gpus_than_tasks(self):
+        slices = split_tasks(0, 2, 4)
+        assert slices == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_empty_range(self):
+        assert split_tasks(3, 3, 2) == [(3, 3), (3, 3)]
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(PartitionError):
+            split_tasks(0, 10, 0)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_invariants(self, lo, size, g):
+        hi = lo + size
+        slices = split_tasks(lo, hi, g)
+        # Cover exactly [lo, hi) with contiguous, ordered, disjoint slices.
+        assert len(slices) == g
+        assert slices[0][0] == lo and slices[-1][1] == hi
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 == b0
+            assert a0 <= a1
+        sizes = [b - a for a, b in slices]
+        assert max(sizes) - min(sizes) <= 1  # equal block split
+
+
+class TestBlocks:
+    def test_clamp(self):
+        assert Block(-5, 20).clamp(10) == Block(0, 10)
+
+    def test_intersect(self):
+        assert Block(0, 10).intersect(Block(5, 15)) == Block(5, 10)
+        assert Block(0, 3).intersect(Block(5, 8)).size == 0
+
+    def test_contains(self):
+        assert Block(0, 10).contains(Block(2, 5))
+        assert Block(0, 10).contains(Block(5, 5))  # empty always contained
+        assert not Block(0, 10).contains(Block(5, 12))
+
+
+class TestWindowEvaluation:
+    def make_eval(self, scalars=None, arrays=None):
+        return make_window_evaluator("i", scalars or {}, arrays or {})
+
+    def window(self, lo_src, hi_src):
+        return ReadWindow(lower=parse_expr(lo_src), upper=parse_expr(hi_src))
+
+    def test_stride_window(self):
+        # stride(3): [3i, 3i+2]
+        w = self.window("3*i", "3*(i+1) - 1")
+        ev = self.make_eval()
+        blk = window_for_tasks(w, (2, 5), 100, ev)
+        assert blk == Block(6, 15)
+
+    def test_halo_window(self):
+        w = self.window("i - 1", "i + 1")
+        blk = window_for_tasks(w, (4, 8), 100, self.make_eval())
+        assert blk == Block(3, 9)
+
+    def test_clamped_to_array(self):
+        w = self.window("i - 1", "i + 1")
+        blk = window_for_tasks(w, (0, 10), 10, self.make_eval())
+        assert blk == Block(0, 10)
+
+    def test_empty_tasks_empty_window(self):
+        w = self.window("i", "i")
+        assert window_for_tasks(w, (5, 5), 10, self.make_eval()).size == 0
+
+    def test_host_scalar_in_bounds(self):
+        w = self.window("i * m", "i * m + m - 1")
+        ev = self.make_eval(scalars={"m": 4})
+        assert window_for_tasks(w, (0, 3), 100, ev) == Block(0, 12)
+
+    def test_indirect_bounds_via_host_array(self):
+        # The BFS col window: bounds(row[i], row[i+1]-1).
+        row = np.array([0, 2, 7, 9], dtype=np.int64)
+        w = self.window("row[i]", "row[i+1] - 1")
+        ev = self.make_eval(arrays={"row": row})
+        assert window_for_tasks(w, (0, 2), 100, ev) == Block(0, 7)
+        assert window_for_tasks(w, (2, 3), 100, ev) == Block(7, 9)
+
+    def test_non_monotone_rejected(self):
+        w = self.window("10 - i", "20 - i")
+        with pytest.raises(PartitionError):
+            window_for_tasks(w, (0, 5), 100, self.make_eval())
+
+    def test_unknown_name_rejected(self):
+        w = self.window("q * i", "q * i")
+        with pytest.raises(PartitionError):
+            window_for_tasks(w, (0, 2), 10, self.make_eval())
+
+    def test_missing_host_array_rejected(self):
+        w = self.window("row[i]", "row[i]")
+        with pytest.raises(PartitionError):
+            window_for_tasks(w, (0, 2), 10, self.make_eval())
+
+
+class TestOwnership:
+    def test_disjoint_windows_are_their_own_primaries(self):
+        wins = [Block(0, 5), Block(5, 10)]
+        assert primary_blocks(wins, 10) == [Block(0, 5), Block(5, 10)]
+
+    def test_halo_overlap_split_at_midpoint(self):
+        wins = [Block(0, 6), Block(4, 10)]
+        prims = primary_blocks(wins, 10)
+        assert prims[0].hi == prims[1].lo
+        assert 4 <= prims[0].hi <= 6
+
+    def test_ownership_covers_whole_array(self):
+        wins = [Block(0, 4), Block(3, 8), Block(7, 12)]
+        prims = primary_blocks(wins, 12)
+        assert prims[0].lo == 0 and prims[-1].hi == 12
+        for a, b in zip(prims, prims[1:]):
+            assert a.hi == b.lo
+
+    def test_empty_window_gets_empty_primary(self):
+        wins = [Block(0, 10), Block(0, 0)]
+        prims = primary_blocks(wins, 10)
+        assert prims[1].size == 0
+        assert prims[0] == Block(0, 10)
+
+    def test_owner_of_vectorized(self):
+        prims = [Block(0, 4), Block(4, 8), Block(8, 12)]
+        idx = np.array([0, 3, 4, 7, 8, 11])
+        np.testing.assert_array_equal(owner_of(idx, prims),
+                                      [0, 0, 1, 1, 2, 2])
+
+    @given(st.lists(st.integers(0, 30), min_size=2, max_size=5),
+           st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_primary_blocks_always_tile(self, sizes, halo):
+        # Build overlapping windows from consecutive spans + halo.
+        length = sum(sizes)
+        wins = []
+        pos = 0
+        for s in sizes:
+            wins.append(Block(max(0, pos - halo),
+                              min(length, pos + s + halo)))
+            pos += s
+        prims = primary_blocks(wins, length)
+        assert prims[0].lo == 0
+        assert prims[-1].hi == length
+        for a, b in zip(prims, prims[1:]):
+            assert a.hi == b.lo

@@ -1,0 +1,76 @@
+"""Property tests: the affine analyzer recovers randomly built forms.
+
+Build ``coeff*i + offset`` as a randomized AST shape (distributing the
+multiplication, shuffling term order, nesting parentheses), then check
+:func:`affine_in` recovers exactly (coeff, offset).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import cast as C
+from repro.frontend.analysis import affine_in, const_value
+
+
+def build_affine(draw, coeff: int, offset: int, depth: int = 0) -> C.Expr:
+    """A random expression provably equal to coeff*i + offset."""
+    if depth >= 3:
+        return base_form(coeff, offset)
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return base_form(coeff, offset)
+    if choice == 1:
+        # Split the offset across two affine halves.
+        o1 = draw(st.integers(-10, 10))
+        c1 = draw(st.integers(-3, 3))
+        left = build_affine(draw, c1, o1, depth + 1)
+        right = build_affine(draw, coeff - c1, offset - o1, depth + 1)
+        return C.BinOp("+", left, right)
+    if choice == 2:
+        # Subtraction form.
+        o1 = draw(st.integers(-10, 10))
+        c1 = draw(st.integers(-3, 3))
+        left = build_affine(draw, coeff + c1, offset + o1, depth + 1)
+        right = build_affine(draw, c1, o1, depth + 1)
+        return C.BinOp("-", left, right)
+    # Scaling form: coeff and offset must share the factor.
+    for k in (2, 3, -2):
+        if coeff % k == 0 and offset % k == 0:
+            inner = build_affine(draw, coeff // k, offset // k, depth + 1)
+            if draw(st.booleans()):
+                return C.BinOp("*", inner, C.IntLit(k))
+            return C.BinOp("*", C.IntLit(k), inner)
+    return base_form(coeff, offset)
+
+
+def base_form(coeff: int, offset: int) -> C.Expr:
+    return C.BinOp("+", C.BinOp("*", C.IntLit(coeff), C.Ident("i")),
+                   C.IntLit(offset))
+
+
+class TestAffineRecovery:
+    @given(st.data(), st.integers(-6, 6), st.integers(-50, 50))
+    @settings(max_examples=150, deadline=None)
+    def test_recovers_coeff_and_offset(self, data, coeff, offset):
+        e = build_affine(data.draw, coeff, offset)
+        form = affine_in(e, "i")
+        assert form is not None
+        assert form.coeff == coeff
+        assert const_value(form.offset) == offset
+
+    @given(st.integers(-6, 6), st.integers(-50, 50),
+           st.integers(-6, 6), st.integers(-50, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_sums_compose(self, c1, o1, c2, o2):
+        e = C.BinOp("+", base_form(c1, o1), base_form(c2, o2))
+        form = affine_in(e, "i")
+        assert form is not None
+        assert form.coeff == c1 + c2
+        assert const_value(form.offset) == o1 + o2
+
+    def test_quadratic_rejected(self):
+        e = C.BinOp("*", C.Ident("i"), C.Ident("i"))
+        assert affine_in(e, "i") is None
+
+    def test_symbolic_times_var_rejected(self):
+        e = C.BinOp("*", C.Ident("i"), C.Ident("n"))
+        assert affine_in(e, "i") is None

@@ -1,0 +1,79 @@
+"""Symbol-table tests."""
+
+import pytest
+
+from repro.frontend.parser import parse
+from repro.frontend.symbols import (
+    Scope,
+    Symbol,
+    SymbolError,
+    build_function_scope,
+    build_global_scope,
+)
+from repro.frontend.cast import CType
+
+
+class TestScope:
+    def test_declare_and_lookup(self):
+        s = Scope()
+        s.declare(Symbol("x", CType("int"), "local"))
+        assert s.lookup("x").name == "x"
+        assert s.lookup("y") is None
+
+    def test_parent_chain(self):
+        parent = Scope()
+        parent.declare(Symbol("g", CType("float"), "global"))
+        child = parent.child()
+        assert child.lookup("g").storage == "global"
+
+    def test_same_type_redeclaration_merged(self):
+        s = Scope()
+        a = s.declare(Symbol("i", CType("int"), "local"))
+        b = s.declare(Symbol("i", CType("int"), "local"))
+        assert a is b
+
+    def test_conflicting_type_rejected(self):
+        s = Scope()
+        s.declare(Symbol("i", CType("int"), "local"))
+        with pytest.raises(SymbolError):
+            s.declare(Symbol("i", CType("float"), "local"))
+
+
+class TestFunctionScope:
+    def test_params_and_locals(self):
+        prog = parse("""
+        void f(int n, float *x) {
+          int a = 1;
+          for (int i = 0; i < n; i++) { float t = x[i]; }
+        }
+        """)
+        scope = build_function_scope(prog.functions[0])
+        assert scope.lookup("n").storage == "param"
+        assert scope.lookup("x").is_array
+        assert scope.lookup("a").storage == "local"
+        assert scope.lookup("i") is not None
+        assert scope.lookup("t") is not None
+
+    def test_sibling_loop_vars_allowed(self):
+        prog = parse("""
+        void f(int n) {
+          for (int i = 0; i < n; i++) { }
+          for (int i = 0; i < n; i++) { }
+        }
+        """)
+        scope = build_function_scope(prog.functions[0])
+        assert scope.lookup("i").ctype.base == "int"
+
+    def test_global_scope(self):
+        prog = parse("int total; float table[10]; void f() {}")
+        gs = build_global_scope(prog)
+        assert gs.lookup("total") is not None
+        assert gs.lookup("table").is_array
+        fs = build_function_scope(prog.functions[0], gs)
+        assert fs.lookup("total").storage == "global"
+
+    def test_iteration(self):
+        s = Scope()
+        s.declare(Symbol("a", CType("int"), "local"))
+        s.declare(Symbol("b", CType("int"), "local"))
+        assert {sym.name for sym in s} == {"a", "b"}
