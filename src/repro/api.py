@@ -136,19 +136,25 @@ class AccProgram:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         reload_skipping: bool = True,
         tree_reduction: bool = True,
+        overlap: bool = False,
+        coalesce: bool = False,
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
         Arrays in ``args`` are modified in place (C pointer semantics).
         ``engine='interp'`` forces the scalar reference interpreter for
         every kernel (slow; used by differential tests).
+        ``overlap=True`` pipelines inter-GPU communication with later
+        kernels; ``coalesce=True`` merges adjacent dirty chunks into one
+        bus transaction.  Both change only *timing*, never results.
         """
         spec = MACHINES[machine] if isinstance(machine, str) else machine
         platform = Platform(spec, ngpus)
         loader = DataLoader(platform, chunk_bytes=chunk_bytes,
                             reload_skipping=reload_skipping)
         executor = AccExecutor(platform, loader, engine=engine,
-                               tree_reduction=tree_reduction)
+                               tree_reduction=tree_reduction,
+                               overlap=overlap, coalesce=coalesce)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(

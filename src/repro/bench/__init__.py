@@ -13,11 +13,14 @@ from .harness import (
     table2,
 )
 from .report import (
+    fig7_json,
+    fig8_json,
     render_fig7,
     render_fig8,
     render_fig9,
     render_table1,
     render_table2,
+    write_bench_json,
 )
 from .versions import VERSIONS, VersionResult, run_version
 
@@ -26,5 +29,6 @@ __all__ = [
     "Fig7Row", "Fig8Row", "Fig9Row", "Table1Row", "Table2Row",
     "render_fig7", "render_fig8", "render_fig9", "render_table1",
     "render_table2",
+    "fig7_json", "fig8_json", "write_bench_json",
     "run_version", "VersionResult", "VERSIONS",
 ]

@@ -7,6 +7,11 @@ while humans read the tables.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+from pathlib import Path
+
 from .harness import Fig7Row, Fig8Row, Fig9Row, Table1Row, Table2Row
 
 
@@ -35,12 +40,17 @@ def render_fig7(rows: list[Fig7Row], title: str = "") -> str:
 
 
 def render_fig8(rows: list[Fig8Row], title: str = "") -> str:
+    hidden = any(r.gpu_gpu_overlapped for r in rows)
     body = [[r.app, str(r.ngpus), f"{r.kernels:.3f}", f"{r.cpu_gpu:.3f}",
-             f"{r.gpu_gpu:.3f}", f"{r.total:.3f}"] for r in rows]
+             f"{r.gpu_gpu:.3f}"]
+            + ([f"{r.gpu_gpu_overlapped:.3f}"] if hidden else [])
+            + [f"{r.total:.3f}"] for r in rows]
     head = title or ("Fig. 8 -- execution-time breakdown "
                      "(normalized to 1-GPU total)")
-    return f"{head}\n" + _table(
-        ["app", "GPUs", "KERNELS", "CPU-GPU", "GPU-GPU", "total"], body)
+    cols = ["app", "GPUs", "KERNELS", "CPU-GPU", "GPU-GPU"]
+    if hidden:
+        cols.append("GG-hidden")
+    return f"{head}\n" + _table(cols + ["total"], body)
 
 
 def render_fig9(rows: list[Fig9Row], title: str = "") -> str:
@@ -50,6 +60,45 @@ def render_fig9(rows: list[Fig9Row], title: str = "") -> str:
                      "(normalized to 1-GPU total)")
     return f"{head}\n" + _table(["app", "GPUs", "User", "System", "total"],
                                 body)
+
+
+def fig7_json(rows: list[Fig7Row]) -> list[dict]:
+    """Fig. 7 rows as plain dicts (machine-readable artifact)."""
+    return [dataclasses.asdict(r) for r in rows]
+
+
+def fig8_json(rows: list[Fig8Row]) -> list[dict]:
+    """Fig. 8 rows as plain dicts, with the derived total included."""
+    out = []
+    for r in rows:
+        d = dataclasses.asdict(r)
+        d["total"] = r.total
+        out.append(d)
+    return out
+
+
+def write_bench_json(filename: str, section: str, payload: object) -> Path:
+    """Merge one section into a benchmark artifact JSON file.
+
+    Artifacts land in ``$REPRO_BENCH_DIR`` (default: the current
+    directory).  Each benchmark writes its own section -- e.g. one
+    machine's rows -- so partial suite runs update only what they
+    measured and re-runs are idempotent.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / filename
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def render_table1(rows: list[Table1Row]) -> str:

@@ -66,6 +66,8 @@ def run_version(
     ngpus: int = 1,
     workload: str = "bench",
     check: bool = False,
+    overlap: bool = False,
+    coalesce: bool = False,
 ) -> VersionResult:
     """Run one version of one app and collect its measurements."""
     mname, spec = _resolve_machine(machine)
@@ -92,7 +94,8 @@ def run_version(
         else:
             options = CompileOptions()
         prog = compile_acc(app.source, options)
-        run = prog.run(app.entry, args, machine=spec, ngpus=ngpus)
+        run = prog.run(app.entry, args, machine=spec, ngpus=ngpus,
+                       overlap=overlap, coalesce=coalesce)
         result = VersionResult(
             app=app.name, version=version, machine=mname, ngpus=ngpus,
             elapsed=run.elapsed, breakdown=run.breakdown,

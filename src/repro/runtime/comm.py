@@ -14,12 +14,30 @@ with direct asynchronous GPU-to-GPU transfers:
    (tree reduction across GPUs) with the host's initial values and
    broadcast the result.
 
-All queued transfers are synchronized once per phase; the elapsed time
-lands in the ``GPU-GPU`` profiler bucket that Fig. 8 reports.
+Two execution modes:
+
+* **synchronous** (default; the paper's behavior): all queued transfers
+  are synchronized once per phase and the elapsed time lands in the
+  ``GPU-GPU`` profiler bucket that Fig. 8 reports;
+* **pipelined** (``overlap=True``): transfers are issued with
+  dependencies -- ``not_before`` the producing/consuming kernels'
+  completion -- and mirrored onto one comm stream per GPU, and the
+  *next* loop's kernels gate only on the arrays they actually touch
+  (:meth:`CommunicationManager.ready_time`).  Replica broadcasts to two
+  or more peers may be staged through host memory (one D2H chained to
+  per-replica H2Ds) when the model prices that below fanning the source
+  link out with peer copies.  Reduction merges always fall back to a
+  synchronous barrier because the host consumes the values immediately.
+  Exposed vs hidden time is split by
+  :meth:`~repro.vcuda.api.Platform.timeline_advance`.
+
+Either way the *data* effects stay eager NumPy copies, which is why app
+results are bit-identical with overlap on or off.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -27,7 +45,8 @@ import numpy as np
 from ..translator import kernel_support as ks
 from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..vcuda.api import Platform
-from ..vcuda.bus import CATEGORY_GPU_GPU
+from ..vcuda.bus import Bus, CATEGORY_GPU_GPU, Transfer
+from ..vcuda.stream import Event, Stream
 from .data_loader import DataLoader, ManagedArray
 from .partition import owner_of
 from .writemiss import RECORD_BYTES
@@ -37,11 +56,33 @@ class CommError(RuntimeError):
     pass
 
 
+@dataclass
+class PendingComm:
+    """In-flight coherence traffic of one array (overlap mode)."""
+
+    name: str
+    #: Per GPU: when every inbound update to its copy has landed.
+    inbound_ready: list[float]
+    #: Per GPU: when every transfer touching its link/buffers is done.
+    #: Kernels *overwriting* the array must wait for outbound copies
+    #: too, since those read the pre-kernel buffer contents.
+    involved_ready: list[float]
+    #: Completion of the whole propagation.
+    finish: float = 0.0
+    #: Only halo slabs moved: interior iterations of a follow-up kernel
+    #: never read them and may launch before they land.
+    halo_only: bool = True
+    #: Per GPU: comm-stream event covering this array's transfers.
+    events: list[Event | None] = field(default_factory=list)
+
+
 class CommunicationManager:
     """Executes the post-kernel coherence step for one loop."""
 
     def __init__(self, platform: Platform, loader: DataLoader,
-                 tree_reduction: bool = True) -> None:
+                 tree_reduction: bool = True,
+                 overlap: bool = False,
+                 coalesce: bool = False) -> None:
         self.platform = platform
         self.loader = loader
         #: Merge reduction partials with a binary tree (log G rounds of
@@ -49,33 +90,178 @@ class CommunicationManager:
         #: GPU 0 -- the inter-GPU level of the paper's hierarchical
         #: reduction.  The flat variant is kept for the ablation.
         self.tree_reduction = tree_reduction
+        #: Issue coherence traffic asynchronously and let later kernels
+        #: overlap with it (event-gated launches).
+        self.overlap = overlap
+        #: Merge adjacent dirty chunks into one transaction per run.
+        self.coalesce = coalesce
+        #: One comm stream per GPU; every bus transfer is mirrored onto
+        #: its endpoint streams, so recorded events carry per-device
+        #: communication completion times.
+        self.streams = [Stream(g, platform.clock)
+                        for g in range(platform.ngpus)]
+        #: In-flight traffic per array name (overlap mode only).
+        self.pending: dict[str, PendingComm] = {}
+        self._active: PendingComm | None = None
         #: Telemetry: bytes shipped per mechanism (tests/benchmarks).
         self.bytes_replica = 0
         self.bytes_miss = 0
         self.bytes_halo = 0
         self.bytes_reduction = 0
+        #: Telemetry: bus transactions issued / saved by coalescing.
+        self.transactions = 0
+        self.transactions_coalesced_away = 0
+        self.staged_broadcasts = 0
 
     # -- top level -----------------------------------------------------------------
 
     def after_kernels(self, configs: dict[str, ArrayConfig],
                       host_env: dict[str, Any] | None = None) -> float:
-        """Run the full coherence step; returns GPU-GPU seconds elapsed."""
+        """Run the full coherence step; returns GPU-GPU seconds elapsed.
+
+        Synchronous mode returns the batch makespan.  Overlap mode
+        returns only the *exposed* GPU-GPU seconds that surfaced during
+        this call (reduction fallbacks); everything else stays in
+        flight, gated by :meth:`ready_time` / retired by :meth:`drain`.
+        """
+        clock = self.platform.clock
+        gg0 = clock.elapsed_in(CATEGORY_GPU_GPU)
         for name, cfg in configs.items():
             ma = self.loader._get(name)
             if cfg.write_handling == WriteHandling.DIRTY_BITS:
+                self._begin(ma)
                 self._propagate_replica(ma)
+                self._commit(halo_only=False)
             elif cfg.write_handling in (WriteHandling.MISS_CHECK,
                                         WriteHandling.LOCAL_PROVEN):
+                self._begin(ma)
+                halo_only = True
                 if cfg.write_handling == WriteHandling.MISS_CHECK:
                     self._route_misses(ma)
+                    halo_only = False
                 self._refresh_halos(ma)
+                self._commit(halo_only=halo_only)
             elif cfg.write_handling == WriteHandling.REDUCTION:
+                if self.overlap:
+                    # Conservative synchronous fallback: the merged
+                    # values are consumed right away (host readback,
+                    # placement flip), so barrier on the producing
+                    # kernels and expose the merge traffic.
+                    self._kernel_barrier()
                 self._merge_reduction(ma, cfg)
+                if self.overlap and self.platform.bus.pending_count():
+                    self.platform.bus.sync(CATEGORY_GPU_GPU)
             if cfg.written:
                 ma.device_ahead = cfg.write_handling != WriteHandling.REDUCTION
-        if self.platform.bus.pending_count():
-            return self.platform.bus.sync(CATEGORY_GPU_GPU)
-        return 0.0
+        if not self.overlap:
+            if self.platform.bus.pending_count():
+                return self.platform.bus.sync(CATEGORY_GPU_GPU)
+            return 0.0
+        return clock.elapsed_in(CATEGORY_GPU_GPU) - gg0
+
+    # -- overlap bookkeeping -----------------------------------------------------
+
+    def _begin(self, ma: ManagedArray) -> None:
+        if not self.overlap:
+            return
+        ngpus = self.platform.ngpus
+        prev = self.pending.pop(ma.name, None)
+        pc = PendingComm(name=ma.name,
+                         inbound_ready=[0.0] * ngpus,
+                         involved_ready=[0.0] * ngpus,
+                         events=[None] * ngpus)
+        if prev is not None and prev.finish > self.platform.clock.now:
+            # Unfinished older traffic on the same array still gates.
+            pc.inbound_ready = list(prev.inbound_ready)
+            pc.involved_ready = list(prev.involved_ready)
+            pc.finish = prev.finish
+            pc.halo_only = prev.halo_only
+        self._active = pc
+
+    def _commit(self, halo_only: bool) -> None:
+        if not self.overlap:
+            return
+        pc = self._active
+        self._active = None
+        assert pc is not None
+        if pc.finish <= self.platform.clock.now:
+            return  # nothing (still) in flight
+        pc.halo_only = pc.halo_only and halo_only
+        for g in range(self.platform.ngpus):
+            pc.events[g] = self.streams[g].record_event()
+        self.pending[pc.name] = pc
+
+    def _note(self, tr: Transfer, src: int | None, dst: int | None) -> None:
+        """Record one scheduled transfer: stream mirror + dependences."""
+        self.transactions += 1
+        if not self.overlap:
+            return
+        pc = self._active
+        label = f"{pc.name}:{tr.kind}" if pc is not None else tr.kind
+        for g in (src, dst):
+            if g is not None:
+                self.streams[g].enqueue_at(label, tr.start, tr.end)
+        if pc is None:
+            return
+        pc.finish = max(pc.finish, tr.end)
+        for g in (src, dst):
+            if g is not None:
+                pc.involved_ready[g] = max(pc.involved_ready[g], tr.end)
+        if dst is not None:
+            pc.inbound_ready[dst] = max(pc.inbound_ready[dst], tr.end)
+
+    def _floor(self, *gpus: int | None) -> float:
+        """Issue dependency of a transfer: the endpoint GPUs' queued
+        kernels produce (source) or still read (destination) the
+        buffers, so the copy may not start before they finish."""
+        if not self.overlap:
+            return 0.0
+        devs = self.platform.devices
+        return max([devs[g].busy_until for g in gpus if g is not None],
+                   default=0.0)
+
+    def _kernel_barrier(self) -> None:
+        target = max([d.busy_until for d in self.platform.devices]
+                     + [self.platform.clock.now])
+        self.platform.timeline_advance(target)
+
+    def ready_time(self, g: int, configs: dict[str, ArrayConfig], *,
+                   interior: bool = False) -> float:
+        """Event gate: earliest virtual time GPU ``g`` may launch a
+        kernel with the given array usage (overlap mode).
+
+        Reads wait for inbound updates; writes wait for every transfer
+        touching the array (outbound copies read the old buffer).
+        ``interior=True`` asks for the gate of an interior sub-launch
+        that provably reads no in-flight halo element.
+        """
+        now = self.platform.clock.now
+        for name in [n for n, pc in self.pending.items()
+                     if pc.finish <= now]:
+            del self.pending[name]
+        ready = 0.0
+        for name, cfg in configs.items():
+            pc = self.pending.get(name)
+            if pc is None:
+                continue
+            if cfg.written:
+                ready = max(ready, pc.involved_ready[g])
+            elif cfg.read:
+                if interior and pc.halo_only:
+                    continue
+                ready = max(ready, pc.inbound_ready[g])
+        return ready
+
+    def drain(self) -> float:
+        """Barrier on every in-flight transfer and queued kernel."""
+        bus = self.platform.bus
+        targets = [pc.finish for pc in self.pending.values()]
+        targets += [t.end for t in bus.pending]
+        targets += [d.busy_until for d in self.platform.devices]
+        target = max(targets, default=self.platform.clock.now)
+        advanced = self.platform.timeline_advance(target)
+        self.pending.clear()
+        return advanced
 
     # -- replicated arrays ------------------------------------------------------------
 
@@ -86,6 +272,7 @@ class CommunicationManager:
             if tracker is not None:
                 tracker.clear()
             return
+        bus = self.platform.bus
         updates = []
         for g in range(ngpus):
             tracker = ma.dirty[g]
@@ -100,24 +287,64 @@ class CommunicationManager:
             # per-transfer latency is what makes very small chunks lose
             # and very large chunks ship mostly-clean data -- the
             # trade-off behind the paper's experimentally-chosen 1 MB.
-            chunk_sizes = []
-            epc = tracker.elems_per_chunk
-            for c in tracker.dirty_chunks():
-                lo = int(c) * epc
-                hi = min(lo + epc, tracker.n_elements)
-                chunk_sizes.append((hi - lo) * tracker.itemsize)
-            updates.append((g, idx, vals, chunk_sizes))
-        for g, idx, vals, chunk_sizes in updates:
-            for t in range(ngpus):
-                if t == g or ma.buffers[t] is None:
-                    continue
+            # With coalescing, adjacent dirty chunks merge into one
+            # transaction per contiguous run.
+            runs = tracker.dirty_chunk_runs()
+            if self.coalesce:
+                merged = Bus.coalesce_runs(runs)
+                self.transactions_coalesced_away += len(runs) - len(merged)
+                runs = merged
+            updates.append((g, idx, vals, runs))
+        for g, idx, vals, runs in updates:
+            targets = [t for t in range(ngpus)
+                       if t != g and ma.buffers[t] is not None]
+            for t in targets:
                 ma.buffers[t].data[idx] = vals
-                for nbytes in chunk_sizes:
-                    self.platform.bus.p2p(g, t, nbytes)
-                    self.bytes_replica += nbytes
+            if not targets:
+                continue
+            total = sum(n for _, n in runs)
+            if self._stage_broadcast(g, targets, runs, total):
+                # Host-staged broadcast: one D2H of the dirty bytes,
+                # then one H2D per replica chained on its completion.
+                # For a fan-out of two or more this loads each link
+                # once instead of occupying the source link per peer
+                # (and avoids repeated QPI crossings on dual-hub
+                # nodes); it needs async transfers with dependencies,
+                # so it only runs in overlap mode.  Logically it is
+                # inter-GPU traffic: the pieces carry a GPU-GPU
+                # category override.
+                d = bus.d2h(g, total, not_before=self._floor(g),
+                            category=CATEGORY_GPU_GPU)
+                self._note(d, g, None)
+                self.staged_broadcasts += 1
+                for t in targets:
+                    h = bus.h2d(t, total,
+                                not_before=max(d.end, self._floor(t)),
+                                category=CATEGORY_GPU_GPU)
+                    self._note(h, None, t)
+                    self.bytes_replica += total
+            else:
+                for t in targets:
+                    nb = self._floor(g, t)
+                    for _, nbytes in runs:
+                        tr = bus.p2p(g, t, nbytes, not_before=nb)
+                        self._note(tr, g, t)
+                        self.bytes_replica += nbytes
         for g in range(ngpus):
             if ma.dirty[g] is not None:
                 ma.dirty[g].clear()
+
+    def _stage_broadcast(self, g: int, targets: list[int],
+                         runs: list[tuple[int, int]], total: int) -> bool:
+        """Price direct fan-out vs host staging for one source GPU."""
+        if not self.overlap or len(targets) < 2 or total == 0:
+            return False
+        bus = self.platform.bus
+        direct = sum(bus._duration("p2p", n, g, t)
+                     for t in targets for _, n in runs)
+        staged = (bus._duration("d2h", total, g, None)
+                  + bus._duration("h2d", total, None, g))
+        return staged < direct
 
     # -- distributed arrays --------------------------------------------------------------
 
@@ -147,7 +374,9 @@ class CommunicationManager:
                     per_target_bytes[t] += int(sel.sum()) * RECORD_BYTES
             for t, nbytes in enumerate(per_target_bytes):
                 if nbytes:
-                    self.platform.bus.p2p(g, t, nbytes)
+                    tr = self.platform.bus.p2p(g, t, nbytes,
+                                               not_before=self._floor(g, t))
+                    self._note(tr, g, t)
                     self.bytes_miss += nbytes
 
     def _refresh_halos(self, ma: ManagedArray) -> None:
@@ -171,7 +400,9 @@ class CommunicationManager:
                 np.copyto(ma.buffers[t].data[dst_lo:dst_lo + ov.size],
                           src.data[src_lo:src_lo + ov.size])
                 nbytes = ov.size * ma.itemsize
-                self.platform.bus.p2p(g, t, nbytes)
+                tr = self.platform.bus.p2p(g, t, nbytes,
+                                           not_before=self._floor(g, t))
+                self._note(tr, g, t)
                 self.bytes_halo += nbytes
 
     # -- reduction destinations ------------------------------------------------------------
@@ -197,7 +428,8 @@ class CommunicationManager:
                     for k in range(0, len(alive) - stride, 2 * stride):
                         src = alive[k + stride]
                         dst = alive[k]
-                        self.platform.bus.p2p(src, dst, nbytes)
+                        tr = self.platform.bus.p2p(src, dst, nbytes)
+                        self._note(tr, src, dst)
                         self.bytes_reduction += nbytes
                         np.copyto(
                             ma.buffers[dst].data,
@@ -207,7 +439,8 @@ class CommunicationManager:
             else:
                 root = alive[0]
                 for g in alive[1:]:
-                    self.platform.bus.p2p(g, root, nbytes)
+                    tr = self.platform.bus.p2p(g, root, nbytes)
+                    self._note(tr, g, root)
                     self.bytes_reduction += nbytes
                     np.copyto(
                         ma.buffers[root].data,
@@ -233,12 +466,14 @@ class CommunicationManager:
                     stride *= 2
                 for level in reversed(levels):
                     for src, dst in level:
-                        self.platform.bus.p2p(src, dst, nbytes)
+                        tr = self.platform.bus.p2p(src, dst, nbytes)
+                        self._note(tr, src, dst)
                         self.bytes_reduction += nbytes
             else:
                 root = alive[0]
                 for g in alive[1:]:
-                    self.platform.bus.p2p(root, g, nbytes)
+                    tr = self.platform.bus.p2p(root, g, nbytes)
+                    self._note(tr, root, g)
                     self.bytes_reduction += nbytes
         ma.device_ahead = False
         ma.materialized = True

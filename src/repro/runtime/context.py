@@ -23,9 +23,11 @@ from typing import Any, Protocol
 
 import numpy as np
 
-from ..translator.array_config import LoopConfig, WriteHandling
+from ..frontend.analysis import const_value
+from ..translator.array_config import LoopConfig, Placement, WriteHandling
 from ..translator.cost import KernelCostInfo
 from ..vcuda.api import Platform
+from ..vcuda.bus import CATEGORY_CPU_GPU, CATEGORY_KERNELS
 from ..vcuda.device import LaunchConfig
 from .comm import CommunicationManager
 from .data_loader import DataLoader
@@ -68,15 +70,25 @@ class AccExecutor:
         loader: DataLoader | None = None,
         engine: str = "vector",
         tree_reduction: bool = True,
+        overlap: bool = False,
+        coalesce: bool = False,
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
         self.platform = platform
         self.loader = loader or DataLoader(platform)
         self.comm = CommunicationManager(platform, self.loader,
-                                         tree_reduction=tree_reduction)
+                                         tree_reduction=tree_reduction,
+                                         overlap=overlap, coalesce=coalesce)
+        #: Asynchronous communication pipelining: kernels of the next
+        #: loop gate on per-array comm completion instead of a global
+        #: barrier, and waits are attributed by the platform timeline.
+        self.overlap = overlap
         self.engine = engine
         self.history: list[LoopRunStats] = []
+        if overlap:
+            platform.enable_overlap_accounting()
+            self.loader.pre_access_hook = self._host_access_barrier
 
     # -- main entry ------------------------------------------------------------
 
@@ -105,34 +117,49 @@ class AccExecutor:
         self.loader.ensure_for_loop(plan.config.arrays, tasks,
                                     plan.loop_var, dict(host_env))
         if self.platform.bus.pending_count():
-            stats.load_seconds = self.platform.bus.sync()
+            if self.overlap:
+                # GPU-GPU traffic from earlier loops may still be in
+                # flight; wait only for this loop's host transfers.
+                stats.load_seconds = self.platform.bus.sync_category(
+                    CATEGORY_CPU_GPU)
+            else:
+                stats.load_seconds = self.platform.bus.sync()
 
         # Step 2: compute.
+        kern0 = self.platform.clock.elapsed_in(CATEGORY_KERNELS)
         contexts: list[KernelContext] = []
         for g, (t0, t1) in enumerate(tasks):
             ctx = self._make_context(g, t0, t1, plan, scalars)
             contexts.append(ctx)
             plan.execute(ctx, self.engine)
             n = max(0, t1 - t0)
+            if n == 0:
+                continue
             work = plan.cost.total(n, ctx.dyn_counts)
-            block = getattr(plan, "block_dim", None) or 256
-            cfg = LaunchConfig.for_tasks(n, block_dim=block)
-            max_gangs = getattr(plan, "max_gangs", None)
-            if max_gangs is not None:
-                cfg = LaunchConfig(grid_dim=min(cfg.grid_dim, max_gangs),
-                                   block_dim=cfg.block_dim)
             dev = self.platform.devices[g]
-            seconds = dev.kernel_time(work, cfg) if n > 0 else 0.0
-            if n > 0:
+            if self.overlap:
+                self._launch_async(plan, g, t0, t1, work, dev)
+            else:
+                cfg = self._launch_cfg(plan, n)
+                seconds = dev.kernel_time(work, cfg)
                 start = max(dev.busy_until, self.platform.clock.now)
                 rec = dev.record_launch(plan.name, work, cfg, seconds)
                 rec.start = start
                 dev.busy_until = start + seconds
-        stats.kernel_seconds = self.platform.sync_devices()
+        if not self.overlap:
+            stats.kernel_seconds = self.platform.sync_devices()
         stats.dyn_counts = [dict(c.dyn_counts) for c in contexts]
 
         # Step 3: communicate.
         stats.comm_seconds = self.comm.after_kernels(plan.config.arrays)
+        if self.overlap:
+            if any(c.scalar_ops for c in contexts):
+                # The host consumes the reduction values right after this
+                # loop: conservative synchronous fallback (barrier on
+                # every queued kernel before the tiny readbacks).
+                self.comm._kernel_barrier()
+            stats.kernel_seconds = (
+                self.platform.clock.elapsed_in(CATEGORY_KERNELS) - kern0)
         finalize_scalar_reductions(
             self.platform,
             [c.scalar_results for c in contexts],
@@ -141,6 +168,117 @@ class AccExecutor:
         )
         self.history.append(stats)
         return stats
+
+    # -- launch helpers -----------------------------------------------------------
+
+    def _launch_cfg(self, plan: KernelPlanLike, n: int) -> LaunchConfig:
+        block = getattr(plan, "block_dim", None) or 256
+        cfg = LaunchConfig.for_tasks(n, block_dim=block)
+        max_gangs = getattr(plan, "max_gangs", None)
+        if max_gangs is not None:
+            cfg = LaunchConfig(grid_dim=min(cfg.grid_dim, max_gangs),
+                               block_dim=cfg.block_dim)
+        return cfg
+
+    def _launch_async(self, plan: KernelPlanLike, g: int, t0: int, t1: int,
+                      work, dev) -> None:
+        """Event-gated launch: wait only for the arrays this kernel
+        touches; split off the halo boundary when that lets the interior
+        start before inbound halos land (overlap mode)."""
+        clock = self.platform.clock
+        n = t1 - t0
+        arrays = plan.config.arrays
+        ready_full = self.comm.ready_time(g, arrays)
+        ready_int = self.comm.ready_time(g, arrays, interior=True)
+        if ready_full > ready_int + 1e-15:
+            split = self._split_geometry(plan, g)
+            if split is not None:
+                before, after = split
+                n_bnd = min(n, before + after)
+                n_int = n - n_bnd
+                if n_int > 0 and n_bnd > 0:
+                    # Interior/boundary split: the interior sub-launch
+                    # reads no in-flight halo element and starts as soon
+                    # as the device is free; the boundary sub-launch
+                    # waits for the halos.  Two launches pay extra
+                    # launch overhead and reduced occupancy -- the
+                    # honest cost of the overlap.
+                    w_int = work.scaled(n_int / n)
+                    w_bnd = work.scaled(n_bnd / n)
+                    cfg_i = self._launch_cfg(plan, n_int)
+                    s_i = dev.kernel_time(w_int, cfg_i)
+                    start = max(dev.busy_until, clock.now, ready_int)
+                    rec = dev.record_launch(plan.name + "[int]", w_int,
+                                            cfg_i, s_i)
+                    rec.start = start
+                    dev.busy_until = start + s_i
+                    cfg_b = self._launch_cfg(plan, n_bnd)
+                    s_b = dev.kernel_time(w_bnd, cfg_b)
+                    start = max(dev.busy_until, clock.now, ready_full)
+                    rec = dev.record_launch(plan.name + "[bnd]", w_bnd,
+                                            cfg_b, s_b)
+                    rec.start = start
+                    dev.busy_until = start + s_b
+                    return
+        cfg = self._launch_cfg(plan, n)
+        seconds = dev.kernel_time(work, cfg)
+        start = max(dev.busy_until, clock.now, ready_full)
+        rec = dev.record_launch(plan.name, work, cfg, seconds)
+        rec.start = start
+        dev.busy_until = start + seconds
+
+    def _split_geometry(self, plan: KernelPlanLike,
+                        g: int) -> tuple[int, int] | None:
+        """Boundary iteration counts ``(before, after)`` of a halo split.
+
+        Only valid when every pending read of this kernel is a
+        unit-stride halo'd distributed array: then iteration ``i`` reads
+        elements ``[i - left, i + right]`` and exactly the first
+        ``primary.lo - blocks.lo`` / last ``blocks.hi - primary.hi``
+        iterations of the slice touch in-flight halo elements.
+        """
+        now = self.platform.clock.now
+        before = after = 0
+        found = False
+        for name, cfg in plan.config.arrays.items():
+            pc = self.comm.pending.get(name)
+            if pc is None or pc.finish <= now:
+                continue
+            if cfg.written or not cfg.read:
+                continue  # gated via ready_time; no split benefit
+            if not pc.halo_only or cfg.placement != Placement.DISTRIBUTED:
+                return None
+            spec = cfg.window.spec if cfg.window is not None else None
+            if spec is None or spec.kind != "stride":
+                return None
+            stride = (const_value(spec.stride)
+                      if spec.stride is not None else 1)
+            if stride != 1:
+                return None
+            ma = self.loader._get(name)
+            blk, prim = ma.blocks[g], ma.primary[g]
+            before = max(before, prim.lo - blk.lo)
+            after = max(after, blk.hi - prim.hi)
+            found = True
+        if not found or before + after <= 0:
+            return None
+        return before, after
+
+    def _host_access_barrier(self, name: str) -> None:
+        """The loader is about to read or replace device buffers of
+        ``name`` on the host path: wait for every queued kernel and any
+        in-flight communication on that array (overlap mode)."""
+        pc = self.comm.pending.pop(name, None)
+        target = max([d.busy_until for d in self.platform.devices]
+                     + [self.platform.clock.now])
+        if pc is not None:
+            target = max(target, pc.finish)
+        self.platform.timeline_advance(target)
+
+    def finish(self) -> float:
+        """End-of-program drain: retire in-flight communication and
+        outstanding kernel time so the profiler snapshot is complete."""
+        return self.comm.drain()
 
     # -- context construction ------------------------------------------------------
 

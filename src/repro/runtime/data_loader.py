@@ -26,6 +26,7 @@ import numpy as np
 from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..translator.kernel_support import red_identity
 from ..vcuda.api import Platform
+from ..vcuda.bus import CATEGORY_CPU_GPU
 from ..vcuda.memory import DeviceBuffer, PURPOSE_USER
 from .dirty import DEFAULT_CHUNK_BYTES, TwoLevelDirty
 from .partition import (
@@ -95,6 +96,11 @@ class DataLoader:
         self.reload_skipping = reload_skipping
         self.arrays: dict[str, ManagedArray] = {}
         self._region_stack: list[list[str]] = []
+        #: Called with the array name before any host-path access to its
+        #: device buffers (writeback, reload, update).  The overlap-mode
+        #: executor installs a barrier here: queued kernels and in-flight
+        #: communication on the array must land first.
+        self.pre_access_hook = None
         #: Loader telemetry (ablation benchmarks read these).
         self.loads = 0
         self.reloads_skipped = 0
@@ -140,7 +146,7 @@ class DataLoader:
                 self._writeback(ma)
             self._release(ma)
         if self.platform.bus.pending_count():
-            self.platform.bus.sync()
+            self.platform.bus.sync_category(CATEGORY_CPU_GPU)
 
     def update_host(self, names: list[str]) -> None:
         """``#pragma acc update host(...)``: device -> host now."""
@@ -149,12 +155,14 @@ class DataLoader:
             if ma.device_ahead:
                 self._writeback(ma)
         if self.platform.bus.pending_count():
-            self.platform.bus.sync()
+            self.platform.bus.sync_category(CATEGORY_CPU_GPU)
 
     def update_device(self, names: list[str]) -> None:
         """``#pragma acc update device(...)``: host -> device now."""
         for name in names:
             ma = self._get(name)
+            if self.pre_access_hook is not None:
+                self.pre_access_hook(name)
             ma.device_ahead = False
             np.copyto(ma.staging, ma.host)
             if ma.valid and ma.placement is not None:
@@ -167,7 +175,7 @@ class DataLoader:
             else:
                 ma.valid = False
         if self.platform.bus.pending_count():
-            self.platform.bus.sync()
+            self.platform.bus.sync_category(CATEGORY_CPU_GPU)
 
     def _get(self, name: str) -> ManagedArray:
         ma = self.arrays.get(name)
@@ -225,11 +233,13 @@ class DataLoader:
 
     def _load(self, ma: ManagedArray, placement: Placement,
               blocks: list[Block], signature: tuple, identity: Any) -> None:
+        if self.pre_access_hook is not None:
+            self.pre_access_hook(ma.name)
         if ma.device_ahead:
             # The device holds the newest data under a different layout:
             # gather it home before re-placing (costs D2H on the bus).
             self._writeback(ma)
-            self.platform.bus.sync()
+            self.platform.bus.sync_category(CATEGORY_CPU_GPU)
         self._release_buffers(ma)
         ngpus = self.platform.ngpus
         for g in range(ngpus):
@@ -280,6 +290,8 @@ class DataLoader:
 
     def _writeback(self, ma: ManagedArray) -> None:
         """Device -> host for the freshest copy of each element."""
+        if self.pre_access_hook is not None:
+            self.pre_access_hook(ma.name)
         if not ma.valid or ma.placement is None:
             ma.device_ahead = False
             return

@@ -111,6 +111,20 @@ class TwoLevelDirty:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
 
+    def dirty_chunk_runs(self) -> list[tuple[int, int]]:
+        """``(byte_offset, nbytes)`` of each dirty chunk, ascending.
+
+        The communication manager ships these one transaction per chunk
+        by default, or merged per contiguous run when transfer
+        coalescing is enabled (:meth:`Bus.coalesce_runs`).
+        """
+        runs: list[tuple[int, int]] = []
+        for c in self.dirty_chunks():
+            lo = int(c) * self.elems_per_chunk
+            hi = min(lo + self.elems_per_chunk, self.n_elements)
+            runs.append((lo * self.itemsize, (hi - lo) * self.itemsize))
+        return runs
+
     def transfer_bytes(self) -> int:
         """Bytes the communication manager ships: whole dirty chunks.
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..translator.kernel_support import red_fold, red_identity
 from ..vcuda.api import Platform
+from ..vcuda.bus import CATEGORY_CPU_GPU
 
 
 def finalize_scalar_reductions(
@@ -53,5 +54,8 @@ def finalize_scalar_reductions(
         host_env[name] = final
         finalized[name] = final
     if platform.bus.pending_count():
-        platform.bus.sync()
+        # Only the scalar readbacks queued above belong to this step;
+        # in-flight GPU-GPU traffic from the async communication layer
+        # stays pending.
+        platform.bus.sync_category(CATEGORY_CPU_GPU)
     return finalized

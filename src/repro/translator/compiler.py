@@ -19,6 +19,7 @@ configuration information is derived from the access analysis and the
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -147,10 +148,39 @@ class CompiledProgram:
         return [p.name for p in self.plans]
 
 
+#: Compilation cache keyed on (source text, options).  Benchmark sweeps
+#: recompile the same few application sources dozens of times with
+#: identical options; the compiled program is immutable at run time (the
+#: runtime copies per-loop state into its own structures), so sharing
+#: one :class:`CompiledProgram` across runs is safe.
+_COMPILE_CACHE: dict[tuple[str, tuple | None], CompiledProgram] = {}
+compile_cache_stats = {"hits": 0, "misses": 0}
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+    compile_cache_stats["hits"] = 0
+    compile_cache_stats["misses"] = 0
+
+
 def compile_source(source: str,
-                   options: CompileOptions | None = None) -> CompiledProgram:
-    """Parse and translate an OpenACC C program."""
-    return compile_program(parse(source), options)
+                   options: CompileOptions | None = None,
+                   cache: bool = True) -> CompiledProgram:
+    """Parse and translate an OpenACC C program (memoized).
+
+    Pass ``cache=False`` to force a fresh translation (tests that mutate
+    the returned structures should)."""
+    if not cache:
+        return compile_program(parse(source), options)
+    key = (source, dataclasses.astuple(options) if options else None)
+    hit = _COMPILE_CACHE.get(key)
+    if hit is not None:
+        compile_cache_stats["hits"] += 1
+        return hit
+    compile_cache_stats["misses"] += 1
+    compiled = compile_program(parse(source), options)
+    _COMPILE_CACHE[key] = compiled
+    return compiled
 
 
 def compile_program(program: C.Program,

@@ -85,6 +85,11 @@ class HostExecutor:
         if unknown:
             raise HostError(f"unknown arguments {sorted(unknown)}")
         value = self._run_function(func, env)
+        finish = getattr(self.executor, "finish", None)
+        if finish is not None:
+            # Program end: retire in-flight communication and queued
+            # kernel time (a no-op in synchronous mode).
+            finish()
         return RunResult(value=value, env=env)
 
     def _coerce_arg(self, p: C.Param, value: Any) -> Any:

@@ -8,7 +8,14 @@ the paper's *relative* performance structure.
 """
 
 from .api import Platform
-from .bus import Bus, CATEGORY_CPU_GPU, CATEGORY_GPU_GPU, CATEGORY_KERNELS, Transfer
+from .bus import (
+    Bus,
+    CATEGORY_CPU_GPU,
+    CATEGORY_GPU_GPU,
+    CATEGORY_GPU_GPU_OVERLAPPED,
+    CATEGORY_KERNELS,
+    Transfer,
+)
 from .clock import VirtualClock
 from .device import Device, KernelLaunchRecord, KernelWork, LaunchConfig
 from .memory import (
@@ -39,6 +46,7 @@ __all__ = [
     "Transfer",
     "CATEGORY_CPU_GPU",
     "CATEGORY_GPU_GPU",
+    "CATEGORY_GPU_GPU_OVERLAPPED",
     "CATEGORY_KERNELS",
     "VirtualClock",
     "Device",

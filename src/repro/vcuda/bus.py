@@ -16,7 +16,7 @@ GPUs overlap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Callable, Literal
 
 from .clock import VirtualClock
 from .specs import BusSpec, MachineSpec
@@ -27,6 +27,11 @@ TransferKind = Literal["h2d", "d2h", "p2p"]
 CATEGORY_CPU_GPU = "CPU-GPU"
 CATEGORY_GPU_GPU = "GPU-GPU"
 CATEGORY_KERNELS = "KERNELS"
+#: Inter-GPU transfer time hidden under kernels (or other accounted
+#: work) by the asynchronous communication layer.  Charged via
+#: :meth:`VirtualClock.charge`, so it never moves the clock: Fig. 8's
+#: ``GPU-GPU`` bucket keeps meaning *exposed* communication only.
+CATEGORY_GPU_GPU_OVERLAPPED = "GPU-GPU (hidden)"
 
 
 @dataclass
@@ -39,6 +44,10 @@ class Transfer:
     dst_device: int | None
     start: float
     end: float
+    #: Logical profiler bucket when it differs from the physical kind:
+    #: host-staged replica broadcasts move over h2d/d2h links but are
+    #: inter-GPU communication for Fig. 8 purposes.
+    category_override: str | None = None
 
     @property
     def seconds(self) -> float:
@@ -46,6 +55,8 @@ class Transfer:
 
     @property
     def category(self) -> str:
+        if self.category_override is not None:
+            return self.category_override
         return CATEGORY_GPU_GPU if self.kind == "p2p" else CATEGORY_CPU_GPU
 
 
@@ -64,6 +75,12 @@ class Bus:
         self._hub_free_at: list[float] = [0.0] * n_hubs
         self._pending: list[Transfer] = []
         self.completed: list[Transfer] = []
+        #: Optional clock-advance hook ``(timestamp, category) -> None``.
+        #: When the async communication layer is active the platform
+        #: installs its timeline-attributing advance here so that waits
+        #: split the advanced interval into kernel / exposed-comm /
+        #: hidden-comm segments instead of charging it wholesale.
+        self.advancer: Callable[[float, str | None], None] | None = None
 
     # -- pricing ------------------------------------------------------------
 
@@ -83,11 +100,13 @@ class Bus:
         return self.spec.latency + nbytes / bw
 
     def _schedule(
-        self, kind: TransferKind, nbytes: int, src: int | None, dst: int | None
+        self, kind: TransferKind, nbytes: int, src: int | None, dst: int | None,
+        not_before: float = 0.0, category: str | None = None,
     ) -> Transfer:
         links = [d for d in (src, dst) if d is not None]
         duration = self._duration(kind, nbytes, src, dst)
-        start = max([self.clock.now] + [self._link_free_at[d] for d in links])
+        start = max([self.clock.now, not_before]
+                    + [self._link_free_at[d] for d in links])
         hub = None
         hub_occupancy = 0.0
         if kind in ("h2d", "d2h") and links:
@@ -105,29 +124,40 @@ class Bus:
             self._link_free_at[d] = end
         if hub is not None:
             self._hub_free_at[hub] = start + hub_occupancy
-        t = Transfer(kind=kind, nbytes=nbytes, src_device=src, dst_device=dst, start=start, end=end)
+        t = Transfer(kind=kind, nbytes=nbytes, src_device=src, dst_device=dst,
+                     start=start, end=end, category_override=category)
         self._pending.append(t)
         return t
 
     # -- public API ----------------------------------------------------------
 
-    def h2d(self, device: int, nbytes: int) -> Transfer:
+    def h2d(self, device: int, nbytes: int, *, not_before: float = 0.0,
+            category: str | None = None) -> Transfer:
         """Queue a host-to-device copy on ``device``'s link."""
         self._check_device(device)
-        return self._schedule("h2d", nbytes, None, device)
+        return self._schedule("h2d", nbytes, None, device,
+                              not_before=not_before, category=category)
 
-    def d2h(self, device: int, nbytes: int) -> Transfer:
+    def d2h(self, device: int, nbytes: int, *, not_before: float = 0.0,
+            category: str | None = None) -> Transfer:
         """Queue a device-to-host copy on ``device``'s link."""
         self._check_device(device)
-        return self._schedule("d2h", nbytes, device, None)
+        return self._schedule("d2h", nbytes, device, None,
+                              not_before=not_before, category=category)
 
-    def p2p(self, src: int, dst: int, nbytes: int) -> Transfer:
-        """Queue a direct GPU-to-GPU copy occupying both links."""
+    def p2p(self, src: int, dst: int, nbytes: int, *,
+            not_before: float = 0.0) -> Transfer:
+        """Queue a direct GPU-to-GPU copy occupying both links.
+
+        ``not_before`` is an issue dependency (e.g. "after the producing
+        kernel finishes"): the transfer starts no earlier, on top of the
+        usual link-availability constraints.
+        """
         self._check_device(src)
         self._check_device(dst)
         if src == dst:
             raise ValueError("peer copy requires distinct devices")
-        return self._schedule("p2p", nbytes, src, dst)
+        return self._schedule("p2p", nbytes, src, dst, not_before=not_before)
 
     def sync(self, category: str | None = None) -> float:
         """Wait for all queued transfers; advance the clock to the makespan.
@@ -149,14 +179,66 @@ class Bus:
                 )
             category = cats.pop()
         before = self.clock.now
-        self.clock.advance_to(finish, category)
+        self._advance_to(finish, category)
         makespan = self.clock.now - before
         self.completed.extend(self._pending)
         self._pending.clear()
         return makespan
 
+    def sync_category(self, category: str) -> float:
+        """Wait only for pending transfers whose bucket is ``category``.
+
+        Unlike :meth:`sync` this leaves transfers of other categories
+        in flight (the async communication layer keeps GPU-GPU traffic
+        pending across host-side CPU-GPU synchronization points).
+        Transfers of *any* category that have finished by the resulting
+        clock time are retired.  Returns the seconds waited.
+        """
+        matching = [t for t in self._pending if t.category == category]
+        if not matching:
+            self.retire()
+            return 0.0
+        finish = max(t.end for t in matching)
+        before = self.clock.now
+        self._advance_to(finish, category)
+        waited = self.clock.now - before
+        self.retire()
+        return waited
+
+    def retire(self) -> int:
+        """Move transfers that finished by ``clock.now`` to ``completed``."""
+        now = self.clock.now
+        done = [t for t in self._pending if t.end <= now]
+        if done:
+            self._pending = [t for t in self._pending if t.end > now]
+            self.completed.extend(done)
+        return len(done)
+
+    def _advance_to(self, timestamp: float, category: str | None) -> None:
+        if self.advancer is not None:
+            self.advancer(timestamp, category)
+        else:
+            self.clock.advance_to(timestamp, category)
+
+    @property
+    def pending(self) -> tuple[Transfer, ...]:
+        """The in-flight transfers (read-only view)."""
+        return tuple(self._pending)
+
     def pending_count(self) -> int:
         return len(self._pending)
+
+    @staticmethod
+    def coalesce_runs(runs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Merge adjacent ``(byte_offset, nbytes)`` runs into single
+        transactions, amortizing the per-transfer PCIe latency."""
+        merged: list[list[int]] = []
+        for off, n in sorted(runs):
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1][1] += n
+            else:
+                merged.append([off, n])
+        return [(off, n) for off, n in merged]
 
     def bytes_moved(self, kind: TransferKind | None = None) -> int:
         """Total completed bytes, optionally filtered by kind."""

@@ -154,6 +154,14 @@ class Device:
         self.launches.append(rec)
         return rec
 
+    def busy_intervals(self, since: float) -> list[tuple[float, float]]:
+        """``(start, end)`` of recorded launches still running at ``since``.
+
+        The timeline-attributing clock advance uses these to decide
+        which parts of a waited interval were covered by kernel work.
+        """
+        return [(l.start, l.end) for l in self.launches if l.end > since]
+
     def reset(self) -> None:
         self.memory.free_all()
         self.launches.clear()

@@ -54,6 +54,20 @@ class Stream:
         self.tail = end
         return end
 
+    def enqueue_at(self, label: str, start: float, end: float) -> float:
+        """Mirror an externally scheduled operation into the stream.
+
+        The bus scheduler decides DMA start/end times from link
+        availability; the communication manager mirrors each transfer
+        onto the endpoint GPUs' comm streams so events recorded on a
+        stream cover the device's outstanding communication.
+        """
+        if end < start:
+            raise ValueError("operation may not end before it starts")
+        self.ops.append((label, start, end))
+        self.tail = max(self.tail, end)
+        return end
+
     def record_event(self) -> Event:
         """CUDA ``cudaEventRecord``: marks the current tail of the stream."""
         return Event(timestamp=self.tail, recorded=True)
