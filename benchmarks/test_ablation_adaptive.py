@@ -1,0 +1,140 @@
+"""Ablation A6 -- profile-guided adaptive task mapping and placement.
+
+Static equal split vs ``adaptive=True`` on the three Fig. 7
+applications, 4 GPUs, two machines:
+
+* **uniform4**: a hypothetical 4x M2050 node.  All GPUs identical, so
+  the cost-model prior reproduces the equal split and the adaptive run
+  must match the static one to within scheduling noise (and produce
+  bit-identical outputs -- the splits literally coincide).
+* **mixed4**: a mixed-generation 2x M2050 + 2x C1060 node.  The GT200
+  cards are under-occupied at a quarter slice (their per-call time is
+  nearly flat in slice size), so the balancer's fixed-point model
+  starves them and hands their work to the Fermis; idle replicas then
+  drop out of the dirty broadcasts, which is where most of the BFS win
+  comes from.
+
+Adaptive mapping only moves iteration-slice boundaries; MD and BFS
+produce bit-identical outputs under every split (asserted here).
+KMEANS reduces float32 sums whose association order follows the split,
+so it is checked against the NumPy reference instead.
+"""
+
+import numpy as np
+
+import repro
+from repro.apps import ALL_APPS
+from repro.bench import hypothetical_node, mixed_node, write_bench_json
+
+APPS = ("md", "kmeans", "bfs")
+NGPUS = 4
+
+MACHINES = {
+    "uniform4": lambda: hypothetical_node(NGPUS),
+    "mixed4": lambda: mixed_node(),
+}
+
+
+def run_one(spec, mach, adaptive):
+    prog = repro.compile(spec.source)
+    args = spec.args_for("bench")
+    inputs = spec.snapshot(args)
+    run = prog.run(spec.entry, args, machine=mach, ngpus=NGPUS,
+                   adaptive=adaptive)
+    spec.check(args, inputs)
+    loader = run.executor.loader
+    snap = run.executor.balancer.snapshot() if adaptive else {}
+    metrics = {
+        "elapsed": run.elapsed,
+        "kernels": run.breakdown.kernels,
+        "cpu_gpu": run.breakdown.cpu_gpu,
+        "gpu_gpu": run.breakdown.gpu_gpu,
+        "loads": loader.loads,
+        "reloads_skipped": loader.reloads_skipped,
+        "migrations": loader.migrations,
+        "resplits": sum(s["resplits"]
+                        for s in snap.get("loops", {}).values()),
+        "weights": {name: s["weights"]
+                    for name, s in snap.get("loops", {}).items()},
+    }
+    outputs = {name: np.asarray(args[name]).copy() for name in spec.outputs}
+    return metrics, outputs
+
+
+def sweep(mach_key):
+    mach = MACHINES[mach_key]()
+    results = {}
+    for app_name in APPS:
+        spec = ALL_APPS[app_name]
+        static_m, static_out = run_one(spec, mach, adaptive=False)
+        adapt_m, adapt_out = run_one(spec, mach, adaptive=True)
+        bitwise = all(np.array_equal(static_out[k], adapt_out[k])
+                      for k in static_out)
+        results[app_name] = {
+            "static": static_m,
+            "adaptive": adapt_m,
+            "gain": 1.0 - adapt_m["elapsed"] / static_m["elapsed"],
+            "bit_identical": bitwise,
+        }
+    return results
+
+
+def _render(mach_key, results):
+    lines = [f"Ablation A6 -- static vs adaptive mapping "
+             f"({mach_key}, {NGPUS} GPUs)",
+             f"{'app':>8}  {'static s':>12}  {'adaptive s':>12}  "
+             f"{'gain':>7}  {'migr':>5}  {'resplit':>7}  {'bitwise':>7}"]
+    for app, r in results.items():
+        lines.append(
+            f"{app:>8}  {r['static']['elapsed']:>12.6f}  "
+            f"{r['adaptive']['elapsed']:>12.6f}  {r['gain']:>6.1%}  "
+            f"{r['adaptive']['migrations']:>5}  "
+            f"{r['adaptive']['resplits']:>7}  {str(r['bit_identical']):>7}")
+    return "\n".join(lines)
+
+
+def _check_common(results):
+    # Moving split boundaries never changes MD/BFS results; KMEANS is
+    # covered by spec.check inside run_one (float reduction order).
+    assert results["md"]["bit_identical"]
+    assert results["bfs"]["bit_identical"]
+
+
+def test_adaptive_uniform4(bench_once, benchmark):
+    results = bench_once(sweep, "uniform4")
+    text = _render("uniform4", results)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    _check_common(results)
+    # Identical GPUs: the model prior reproduces the equal split, so
+    # adaptive must not regress (tiny tolerance for bookkeeping noise).
+    for app, r in results.items():
+        assert r["adaptive"]["elapsed"] <= 1.02 * r["static"]["elapsed"], app
+        assert r["adaptive"]["migrations"] == 0, app
+    write_bench_json("BENCH_ablation_adaptive.json", "uniform4", results,
+                     machine=MACHINES["uniform4"]())
+
+
+def test_adaptive_mixed4(bench_once, benchmark):
+    results = bench_once(sweep, "mixed4")
+    text = _render("mixed4", results)
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    _check_common(results)
+    # Issue acceptance: >= 15% improvement on at least two of the Fig. 7
+    # apps on the mixed-spec node, with identical outputs.  MD (compute
+    # skew) and BFS (skew + idle-replica broadcast elision) clear it by
+    # a wide margin; KMEANS's split-consistency group keeps it from
+    # churning, so it must at least not regress.
+    for app in ("md", "bfs"):
+        r = results[app]
+        assert r["adaptive"]["elapsed"] <= 0.85 * r["static"]["elapsed"], \
+            (app, r["adaptive"]["elapsed"], r["static"]["elapsed"])
+    assert results["kmeans"]["adaptive"]["elapsed"] <= \
+        1.02 * results["kmeans"]["static"]["elapsed"]
+    # The stable split keeps reload skipping alive: no re-load churn.
+    km = results["kmeans"]["adaptive"]
+    assert km["reloads_skipped"] >= results["kmeans"]["static"][
+        "reloads_skipped"]
+    write_bench_json("BENCH_ablation_adaptive.json", "mixed4", results,
+                     machine=MACHINES["mixed4"]())

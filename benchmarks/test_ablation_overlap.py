@@ -23,7 +23,7 @@ and no elapsed-time regression).
 
 import repro
 from repro.apps import ALL_APPS, EXTRA_APPS
-from repro.bench import write_bench_json
+from repro.bench import machine, write_bench_json
 
 CASES = {
     "bfs": ("supercomputer", 3),
@@ -93,7 +93,8 @@ def test_overlap_coalesce_bfs(bench_once, benchmark):
     write_bench_json(
         "BENCH_ablation_overlap.json", "bfs",
         {f"overlap={ov},coalesce={co}": m
-         for (ov, co), m in results.items()})
+         for (ov, co), m in results.items()},
+        machine=machine("supercomputer"))
 
 
 def test_overlap_coalesce_stencil(bench_once, benchmark):
@@ -109,4 +110,5 @@ def test_overlap_coalesce_stencil(bench_once, benchmark):
     write_bench_json(
         "BENCH_ablation_overlap.json", "stencil",
         {f"overlap={ov},coalesce={co}": m
-         for (ov, co), m in results.items()})
+         for (ov, co), m in results.items()},
+        machine=machine("supercomputer"))

@@ -10,7 +10,7 @@ Paper claims validated here (shape, not absolute numbers):
   degrades with more GPUs there.
 """
 
-from repro.bench import fig7, fig7_json, render_fig7, write_bench_json
+from repro.bench import fig7, fig7_json, machine, render_fig7, write_bench_json
 
 
 def _by_app(rows):
@@ -22,7 +22,8 @@ def test_fig7_desktop(bench_once, benchmark):
     text = render_fig7(rows, "Fig. 7 (desktop)")
     print("\n" + text)
     benchmark.extra_info["table"] = text
-    write_bench_json("BENCH_fig7.json", "desktop", fig7_json(rows))
+    write_bench_json("BENCH_fig7.json", "desktop", fig7_json(rows),
+                     machine=machine("desktop"))
     rel = _by_app(rows)
 
     # Headline: best desktop speedup lands in the paper's band (6.75x).
@@ -49,7 +50,8 @@ def test_fig7_supercomputer(bench_once, benchmark):
     text = render_fig7(rows, "Fig. 7 (supercomputer node)")
     print("\n" + text)
     benchmark.extra_info["table"] = text
-    write_bench_json("BENCH_fig7.json", "supercomputer", fig7_json(rows))
+    write_bench_json("BENCH_fig7.json", "supercomputer", fig7_json(rows),
+                     machine=machine("supercomputer"))
     rel = _by_app(rows)
 
     # Headline: best supercomputer speedup in the paper's band (2.95x).

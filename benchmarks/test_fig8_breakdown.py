@@ -6,7 +6,7 @@ speedup; MD has zero inter-GPU traffic; BFS's GPU-GPU time dominates on
 the supercomputer node at 2-3 GPUs (the QPI-crossing peer path).
 """
 
-from repro.bench import fig8, fig8_json, render_fig8, write_bench_json
+from repro.bench import fig8, fig8_json, machine, render_fig8, write_bench_json
 
 
 def _get(rows, app, g):
@@ -18,7 +18,8 @@ def test_fig8_desktop(bench_once, benchmark):
     text = render_fig8(rows, "Fig. 8 (desktop)")
     print("\n" + text)
     benchmark.extra_info["table"] = text
-    write_bench_json("BENCH_fig8.json", "desktop", fig8_json(rows))
+    write_bench_json("BENCH_fig8.json", "desktop", fig8_json(rows),
+                     machine=machine("desktop"))
 
     for app in ("md", "kmeans", "bfs"):
         one = _get(rows, app, 1)
@@ -41,7 +42,8 @@ def test_fig8_supercomputer(bench_once, benchmark):
     text = render_fig8(rows, "Fig. 8 (supercomputer node)")
     print("\n" + text)
     benchmark.extra_info["table"] = text
-    write_bench_json("BENCH_fig8.json", "supercomputer", fig8_json(rows))
+    write_bench_json("BENCH_fig8.json", "supercomputer", fig8_json(rows),
+                     machine=machine("supercomputer"))
 
     # BFS: inter-GPU communication becomes the bottleneck at 2-3 GPUs
     # (paper: "the time for inter-GPU communication becomes the

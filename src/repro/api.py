@@ -138,6 +138,7 @@ class AccProgram:
         tree_reduction: bool = True,
         overlap: bool = False,
         coalesce: bool = False,
+        adaptive: bool = False,
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
@@ -146,15 +147,19 @@ class AccProgram:
         every kernel (slow; used by differential tests).
         ``overlap=True`` pipelines inter-GPU communication with later
         kernels; ``coalesce=True`` merges adjacent dirty chunks into one
-        bus transaction.  Both change only *timing*, never results.
+        bus transaction.  ``adaptive=True`` enables profile-guided task
+        mapping and placement switching (delta migration between
+        splits).  All three change only *timing*, never results.
         """
         spec = MACHINES[machine] if isinstance(machine, str) else machine
         platform = Platform(spec, ngpus)
         loader = DataLoader(platform, chunk_bytes=chunk_bytes,
-                            reload_skipping=reload_skipping)
+                            reload_skipping=reload_skipping,
+                            migrate_deltas=adaptive)
         executor = AccExecutor(platform, loader, engine=engine,
                                tree_reduction=tree_reduction,
-                               overlap=overlap, coalesce=coalesce)
+                               overlap=overlap, coalesce=coalesce,
+                               adaptive=adaptive)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(

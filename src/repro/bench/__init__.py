@@ -12,9 +12,11 @@ from .harness import (
     table1,
     table2,
 )
+from .machines import hypothetical_node, machine, mixed_node
 from .report import (
     fig7_json,
     fig8_json,
+    machine_info,
     render_fig7,
     render_fig8,
     render_fig9,
@@ -29,6 +31,7 @@ __all__ = [
     "Fig7Row", "Fig8Row", "Fig9Row", "Table1Row", "Table2Row",
     "render_fig7", "render_fig8", "render_fig9", "render_table1",
     "render_table2",
-    "fig7_json", "fig8_json", "write_bench_json",
+    "fig7_json", "fig8_json", "machine_info", "write_bench_json",
+    "machine", "hypothetical_node", "mixed_node",
     "run_version", "VersionResult", "VERSIONS",
 ]

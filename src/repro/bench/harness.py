@@ -168,7 +168,7 @@ def table1() -> list[Table1Row]:
             machine=spec.name,
             cpu=spec.cpu.name,
             cpu_sockets=spec.cpu_sockets,
-            gpus=spec.gpu.name,
+            gpus=spec.gpu_mix_label,
             gpu_count=spec.gpu_count,
             bus=spec.bus.name,
         ))

@@ -13,6 +13,7 @@ from ..vcuda.specs import (
     MachineSpec,
     PCIE_GEN2_TSUBAME,
     SUPERCOMPUTER_NODE,
+    TESLA_C1060,
     TESLA_M2050,
     XEON_X5670,
 )
@@ -51,5 +52,39 @@ def hypothetical_node(gpu_count: int, gpus_per_hub: int = 4) -> MachineSpec:
     )
 
 
-__all__ = ["machine", "hypothetical_node", "MACHINES", "DESKTOP_MACHINE",
-           "SUPERCOMPUTER_NODE"]
+def mixed_node(fast: int = 2, slow: int = 2,
+               gpus_per_hub: int = 2) -> MachineSpec:
+    """A mixed-generation node: Fermi M2050s next to GT200 C1060s.
+
+    The specs alternate (fast, slow, fast, slow, ...) so each I/O hub
+    carries a balanced share of whatever split the runtime chooses.
+    This is the adaptive ablation's stress machine: the static equal
+    split leaves the M2050s waiting on the C1060s every kernel.
+    """
+    count = fast + slow
+    if count < 1:
+        raise ValueError("need at least one GPU")
+    order: list = []
+    f, s = fast, slow
+    while f > 0 or s > 0:
+        if f > 0:
+            order.append(TESLA_M2050)
+            f -= 1
+        if s > 0:
+            order.append(TESLA_C1060)
+            s -= 1
+    hubs = tuple(g // gpus_per_hub for g in range(count))
+    return MachineSpec(
+        name=f"Mixed {fast}+{slow}-GPU node",
+        cpu=XEON_X5670,
+        cpu_sockets=2,
+        gpu=TESLA_M2050,
+        gpu_count=count,
+        bus=PCIE_GEN2_TSUBAME,
+        gpu_hub=hubs,
+        gpus=tuple(order),
+    )
+
+
+__all__ = ["machine", "hypothetical_node", "mixed_node", "MACHINES",
+           "DESKTOP_MACHINE", "SUPERCOMPUTER_NODE"]

@@ -12,7 +12,31 @@ import json
 import os
 from pathlib import Path
 
+from ..vcuda.specs import MachineSpec
 from .harness import Fig7Row, Fig8Row, Fig9Row, Table1Row, Table2Row
+
+
+def machine_info(spec: MachineSpec) -> dict:
+    """Machine identification embedded in every benchmark artifact.
+
+    Numbers without the machine that produced them are unreproducible;
+    each ``BENCH_*.json`` section carries the GPU model mix, CPU and
+    bus model of the (virtual) node it was measured on.
+    """
+    gpu_counts: dict[str, int] = {}
+    for g in spec.gpu_specs:
+        gpu_counts[g.name] = gpu_counts.get(g.name, 0) + 1
+    return {
+        "name": spec.name,
+        "cpu": spec.cpu.name,
+        "cpu_sockets": spec.cpu_sockets,
+        "gpu_count": spec.gpu_count,
+        "gpus": gpu_counts,
+        "gpu_mix": spec.gpu_mix_label,
+        "heterogeneous": spec.is_heterogeneous,
+        "bus": spec.bus.name,
+        "gpu_hub": list(spec.gpu_hub) if spec.gpu_hub else None,
+    }
 
 
 def _table(headers: list[str], rows: list[list[str]]) -> str:
@@ -77,13 +101,16 @@ def fig8_json(rows: list[Fig8Row]) -> list[dict]:
     return out
 
 
-def write_bench_json(filename: str, section: str, payload: object) -> Path:
+def write_bench_json(filename: str, section: str, payload: object,
+                     machine: MachineSpec | None = None) -> Path:
     """Merge one section into a benchmark artifact JSON file.
 
     Artifacts land in ``$REPRO_BENCH_DIR`` (default: the current
     directory).  Each benchmark writes its own section -- e.g. one
     machine's rows -- so partial suite runs update only what they
-    measured and re-runs are idempotent.
+    measured and re-runs are idempotent.  Pass ``machine`` to record
+    the producing node under the artifact's ``machines`` map, keyed by
+    the same section name.
     """
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -97,6 +124,11 @@ def write_bench_json(filename: str, section: str, payload: object) -> Path:
     if not isinstance(data, dict):
         data = {}
     data[section] = payload
+    if machine is not None:
+        machines = data.setdefault("machines", {})
+        if not isinstance(machines, dict):
+            machines = data["machines"] = {}
+        machines[section] = machine_info(machine)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 

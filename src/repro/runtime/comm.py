@@ -108,6 +108,15 @@ class CommunicationManager:
         self.bytes_miss = 0
         self.bytes_halo = 0
         self.bytes_reduction = 0
+        #: Dirty-element propagation of runtime-demoted (distributed)
+        #: replica arrays: only copies whose block overlaps the writes
+        #: are updated.
+        self.bytes_windowed = 0
+        #: Per-array cumulative bytes by mechanism, and the same for the
+        #: most recent :meth:`after_kernels` call only.  The adaptive
+        #: placement advisor reads the per-call numbers.
+        self.per_array_bytes: dict[str, dict[str, int]] = {}
+        self.last_call_bytes: dict[str, dict[str, int]] = {}
         #: Telemetry: bus transactions issued / saved by coalescing.
         self.transactions = 0
         self.transactions_coalesced_away = 0
@@ -126,12 +135,20 @@ class CommunicationManager:
         """
         clock = self.platform.clock
         gg0 = clock.elapsed_in(CATEGORY_GPU_GPU)
+        self.last_call_bytes = {}
         for name, cfg in configs.items():
             ma = self.loader._get(name)
             if cfg.write_handling == WriteHandling.DIRTY_BITS:
                 self._begin(ma)
-                self._propagate_replica(ma)
-                self._commit(halo_only=False)
+                if ma.placement == Placement.DISTRIBUTED:
+                    # Runtime-demoted replica array: writes stay inside
+                    # the per-GPU blocks, so only overlapping resident
+                    # copies (halos) need the dirty elements.
+                    self._propagate_dirty_windowed(ma)
+                    self._commit(halo_only=True)
+                else:
+                    self._propagate_replica(ma)
+                    self._commit(halo_only=False)
             elif cfg.write_handling in (WriteHandling.MISS_CHECK,
                                         WriteHandling.LOCAL_PROVEN):
                 self._begin(ma)
@@ -263,6 +280,17 @@ class CommunicationManager:
         self.pending.clear()
         return advanced
 
+    def _account(self, name: str, kind: str, nbytes: int,
+                 transfers: int = 0) -> None:
+        """Per-array telemetry: cumulative and most-recent-call bytes."""
+        d = self.last_call_bytes.setdefault(name, {})
+        d[kind] = d.get(kind, 0) + nbytes
+        if transfers:
+            k = kind + "_transfers"
+            d[k] = d.get(k, 0) + transfers
+        t = self.per_array_bytes.setdefault(name, {})
+        t[kind] = t.get(kind, 0) + nbytes
+
     # -- replicated arrays ------------------------------------------------------------
 
     def _propagate_replica(self, ma: ManagedArray) -> None:
@@ -323,6 +351,7 @@ class CommunicationManager:
                                 category=CATEGORY_GPU_GPU)
                     self._note(h, None, t)
                     self.bytes_replica += total
+                    self._account(ma.name, "replica", total, transfers=1)
             else:
                 for t in targets:
                     nb = self._floor(g, t)
@@ -330,6 +359,7 @@ class CommunicationManager:
                         tr = bus.p2p(g, t, nbytes, not_before=nb)
                         self._note(tr, g, t)
                         self.bytes_replica += nbytes
+                        self._account(ma.name, "replica", nbytes, transfers=1)
         for g in range(ngpus):
             if ma.dirty[g] is not None:
                 ma.dirty[g].clear()
@@ -345,6 +375,49 @@ class CommunicationManager:
         staged = (bus._duration("d2h", total, g, None)
                   + bus._duration("h2d", total, None, g))
         return staged < direct
+
+    def _propagate_dirty_windowed(self, ma: ManagedArray) -> None:
+        """Dirty propagation for a runtime-demoted replica array.
+
+        The array carries dirty-bit instrumentation (the generated code
+        is unchanged) but its copies are now blocks from the advisor's
+        inferred window.  Every write of GPU ``g`` lands inside its own
+        block; other GPUs only need the dirty elements that fall inside
+        *their* blocks -- the halo overlap -- instead of the full
+        replica broadcast.  One transfer per (source, target) pair of
+        just the overlapping bytes.
+        """
+        ngpus = self.platform.ngpus
+        if ngpus == 1:
+            if ma.dirty[0] is not None:
+                ma.dirty[0].clear()
+            return
+        bus = self.platform.bus
+        for g in range(ngpus):
+            tracker = ma.dirty[g]
+            if tracker is None or not tracker.any_dirty:
+                continue
+            idx = tracker.dirty_elements()
+            buf = ma.buffers[g]
+            assert buf is not None
+            vals = buf.data[idx - ma.blocks[g].lo].copy()
+            for t in range(ngpus):
+                if t == g or ma.buffers[t] is None:
+                    continue
+                tb = ma.blocks[t]
+                sel = (idx >= tb.lo) & (idx < tb.hi)
+                n = int(sel.sum())
+                if n == 0:
+                    continue
+                ma.buffers[t].data[idx[sel] - tb.lo] = vals[sel]
+                nbytes = n * ma.itemsize
+                tr = bus.p2p(g, t, nbytes, not_before=self._floor(g, t))
+                self._note(tr, g, t)
+                self.bytes_windowed += nbytes
+                self._account(ma.name, "windowed", nbytes, transfers=1)
+        for g in range(ngpus):
+            if ma.dirty[g] is not None:
+                ma.dirty[g].clear()
 
     # -- distributed arrays --------------------------------------------------------------
 
@@ -378,6 +451,7 @@ class CommunicationManager:
                                                not_before=self._floor(g, t))
                     self._note(tr, g, t)
                     self.bytes_miss += nbytes
+                    self._account(ma.name, "miss", nbytes, transfers=1)
 
     def _refresh_halos(self, ma: ManagedArray) -> None:
         """Owner blocks changed: update overlapping copies on other GPUs."""
@@ -404,6 +478,7 @@ class CommunicationManager:
                                            not_before=self._floor(g, t))
                 self._note(tr, g, t)
                 self.bytes_halo += nbytes
+                self._account(ma.name, "halo", nbytes, transfers=1)
 
     # -- reduction destinations ------------------------------------------------------------
 

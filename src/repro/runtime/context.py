@@ -29,6 +29,7 @@ from ..translator.cost import KernelCostInfo
 from ..vcuda.api import Platform
 from ..vcuda.bus import CATEGORY_CPU_GPU, CATEGORY_KERNELS
 from ..vcuda.device import LaunchConfig
+from .balancer import AdaptiveBalancer
 from .comm import CommunicationManager
 from .data_loader import DataLoader
 from .kernelctx import KernelContext
@@ -72,6 +73,8 @@ class AccExecutor:
         tree_reduction: bool = True,
         overlap: bool = False,
         coalesce: bool = False,
+        adaptive: bool = False,
+        balancer: AdaptiveBalancer | None = None,
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
@@ -85,6 +88,11 @@ class AccExecutor:
         #: barrier, and waits are attributed by the platform timeline.
         self.overlap = overlap
         self.engine = engine
+        #: Profile-guided adaptive mapping + placement switching.
+        self.adaptive = adaptive
+        self.balancer = balancer
+        if adaptive and self.balancer is None:
+            self.balancer = AdaptiveBalancer(platform, self.loader)
         self.history: list[LoopRunStats] = []
         if overlap:
             platform.enable_overlap_accounting()
@@ -102,7 +110,12 @@ class AccExecutor:
         from ..runtime.partition import split_tasks
 
         stats = LoopRunStats(kernel_name=plan.name)
-        tasks = split_tasks(lower, upper, self.platform.ngpus)
+        if self.adaptive and self.balancer is not None:
+            tasks = self.balancer.plan_tasks(plan, lower, upper)
+            configs = self.balancer.effective_configs(plan)
+        else:
+            tasks = split_tasks(lower, upper, self.platform.ngpus)
+            configs = plan.config.arrays
         stats.tasks = tasks
 
         scalars = {}
@@ -114,7 +127,7 @@ class AccExecutor:
             scalars[n] = host_env[n]
 
         # Step 1: mapping + loading.
-        self.loader.ensure_for_loop(plan.config.arrays, tasks,
+        self.loader.ensure_for_loop(configs, tasks,
                                     plan.loop_var, dict(host_env))
         if self.platform.bus.pending_count():
             if self.overlap:
@@ -127,9 +140,12 @@ class AccExecutor:
 
         # Step 2: compute.
         kern0 = self.platform.clock.elapsed_in(CATEGORY_KERNELS)
+        profiler = self.platform.profiler
+        profiler.note_loop_call(plan.name)
+        per_gpu_seconds = [0.0] * self.platform.ngpus
         contexts: list[KernelContext] = []
         for g, (t0, t1) in enumerate(tasks):
-            ctx = self._make_context(g, t0, t1, plan, scalars)
+            ctx = self._make_context(g, t0, t1, plan, scalars, configs)
             contexts.append(ctx)
             plan.execute(ctx, self.engine)
             n = max(0, t1 - t0)
@@ -138,20 +154,25 @@ class AccExecutor:
             work = plan.cost.total(n, ctx.dyn_counts)
             dev = self.platform.devices[g]
             if self.overlap:
-                self._launch_async(plan, g, t0, t1, work, dev)
+                seconds, launches = self._launch_async(
+                    plan, g, t0, t1, work, dev, configs)
             else:
                 cfg = self._launch_cfg(plan, n)
                 seconds = dev.kernel_time(work, cfg)
+                launches = 1
                 start = max(dev.busy_until, self.platform.clock.now)
                 rec = dev.record_launch(plan.name, work, cfg, seconds)
                 rec.start = start
                 dev.busy_until = start + seconds
+            per_gpu_seconds[g] = seconds
+            profiler.record_kernel(plan.name, g, seconds,
+                                   launches=launches, iterations=n)
         if not self.overlap:
             stats.kernel_seconds = self.platform.sync_devices()
         stats.dyn_counts = [dict(c.dyn_counts) for c in contexts]
 
         # Step 3: communicate.
-        stats.comm_seconds = self.comm.after_kernels(plan.config.arrays)
+        stats.comm_seconds = self.comm.after_kernels(configs)
         if self.overlap:
             if any(c.scalar_ops for c in contexts):
                 # The host consumes the reduction values right after this
@@ -166,6 +187,9 @@ class AccExecutor:
             [c.scalar_ops for c in contexts],
             host_env,
         )
+        if self.adaptive and self.balancer is not None:
+            self.balancer.observe(plan, tasks, per_gpu_seconds,
+                                  self.comm.last_call_bytes)
         self.history.append(stats)
         return stats
 
@@ -181,17 +205,19 @@ class AccExecutor:
         return cfg
 
     def _launch_async(self, plan: KernelPlanLike, g: int, t0: int, t1: int,
-                      work, dev) -> None:
+                      work, dev, configs: dict | None = None,
+                      ) -> tuple[float, int]:
         """Event-gated launch: wait only for the arrays this kernel
         touches; split off the halo boundary when that lets the interior
-        start before inbound halos land (overlap mode)."""
+        start before inbound halos land (overlap mode).  Returns the
+        launched kernel seconds and launch count (profiler feedback)."""
         clock = self.platform.clock
         n = t1 - t0
-        arrays = plan.config.arrays
+        arrays = configs if configs is not None else plan.config.arrays
         ready_full = self.comm.ready_time(g, arrays)
         ready_int = self.comm.ready_time(g, arrays, interior=True)
         if ready_full > ready_int + 1e-15:
-            split = self._split_geometry(plan, g)
+            split = self._split_geometry(plan, g, arrays)
             if split is not None:
                 before, after = split
                 n_bnd = min(n, before + after)
@@ -219,16 +245,17 @@ class AccExecutor:
                                             cfg_b, s_b)
                     rec.start = start
                     dev.busy_until = start + s_b
-                    return
+                    return s_i + s_b, 2
         cfg = self._launch_cfg(plan, n)
         seconds = dev.kernel_time(work, cfg)
         start = max(dev.busy_until, clock.now, ready_full)
         rec = dev.record_launch(plan.name, work, cfg, seconds)
         rec.start = start
         dev.busy_until = start + seconds
+        return seconds, 1
 
-    def _split_geometry(self, plan: KernelPlanLike,
-                        g: int) -> tuple[int, int] | None:
+    def _split_geometry(self, plan: KernelPlanLike, g: int,
+                        configs: dict | None = None) -> tuple[int, int] | None:
         """Boundary iteration counts ``(before, after)`` of a halo split.
 
         Only valid when every pending read of this kernel is a
@@ -240,7 +267,8 @@ class AccExecutor:
         now = self.platform.clock.now
         before = after = 0
         found = False
-        for name, cfg in plan.config.arrays.items():
+        arrays = configs if configs is not None else plan.config.arrays
+        for name, cfg in arrays.items():
             pc = self.comm.pending.get(name)
             if pc is None or pc.finish <= now:
                 continue
@@ -283,9 +311,11 @@ class AccExecutor:
     # -- context construction ------------------------------------------------------
 
     def _make_context(self, g: int, t0: int, t1: int,
-                      plan: KernelPlanLike, scalars: dict[str, Any]) -> KernelContext:
+                      plan: KernelPlanLike, scalars: dict[str, Any],
+                      configs: dict | None = None) -> KernelContext:
         ctx = KernelContext(device_index=g, i0=t0, i1=t1, scalars=dict(scalars))
-        for name, cfg in plan.config.arrays.items():
+        arrays = configs if configs is not None else plan.config.arrays
+        for name, cfg in arrays.items():
             ma = self.loader._get(name)
             buf = ma.buffers[g]
             if buf is None:

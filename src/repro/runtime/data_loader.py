@@ -42,6 +42,26 @@ class DataEnvironmentError(RuntimeError):
     pass
 
 
+def _subtract(block: Block, covered: list[Block]) -> list[Block]:
+    """Segments of ``block`` not covered by any block in ``covered``."""
+    out = [block] if block.size else []
+    for c in covered:
+        if c.size == 0:
+            continue
+        nxt: list[Block] = []
+        for seg in out:
+            inter = seg.intersect(c)
+            if inter.size <= 0:
+                nxt.append(seg)
+                continue
+            if seg.lo < inter.lo:
+                nxt.append(Block(seg.lo, inter.lo))
+            if inter.hi < seg.hi:
+                nxt.append(Block(inter.hi, seg.hi))
+        out = nxt
+    return out
+
+
 @dataclass
 class ManagedArray:
     """Device-side state of one host array inside a data region."""
@@ -90,10 +110,16 @@ class DataLoader:
 
     def __init__(self, platform: Platform,
                  chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-                 reload_skipping: bool = True) -> None:
+                 reload_skipping: bool = True,
+                 migrate_deltas: bool = False) -> None:
         self.platform = platform
         self.chunk_bytes = chunk_bytes
         self.reload_skipping = reload_skipping
+        #: Adaptive mode: when the required blocks differ from what is
+        #: resident, move only the deltas between old and new blocks
+        #: (device-local keeps, peer fetches from old owners, host
+        #: fills) instead of writing everything back and reloading.
+        self.migrate_deltas = migrate_deltas
         self.arrays: dict[str, ManagedArray] = {}
         self._region_stack: list[list[str]] = []
         #: Called with the array name before any host-path access to its
@@ -104,6 +130,10 @@ class DataLoader:
         #: Loader telemetry (ablation benchmarks read these).
         self.loads = 0
         self.reloads_skipped = 0
+        self.migrations = 0
+        self.bytes_migrated_local = 0
+        self.bytes_migrated_p2p = 0
+        self.bytes_migrated_h2d = 0
 
     # -- region management -------------------------------------------------------
 
@@ -200,6 +230,11 @@ class DataLoader:
         """
         host_arrays = {n: m.host for n, m in self.arrays.items()}
         evaluate = None
+        # Adaptive mode: GPUs the balancer starved (empty task slice)
+        # hold no replica blocks either -- they read nothing, and every
+        # resident replica is one more target of each dirty broadcast.
+        idle = ([t1 <= t0 for t0, t1 in tasks]
+                if self.migrate_deltas else None)
         for name, cfg in configs.items():
             ma = self._get(name)
             ngpus = self.platform.ngpus
@@ -219,6 +254,9 @@ class DataLoader:
                         window_for_tasks(cfg.window, t, ma.length, evaluate)
                         for t in tasks
                     ]
+                elif idle is not None:
+                    blocks = [Block(0, 0) if idle[g] else Block(0, ma.length)
+                              for g in range(ngpus)]
                 else:
                     blocks = [Block(0, ma.length)] * ngpus
             signature = (placement, tuple((b.lo, b.hi) for b in blocks),
@@ -226,6 +264,10 @@ class DataLoader:
             if (self.reload_skipping and ma.valid and ma.signature == signature
                     and identity is None):
                 self.reloads_skipped += 1
+            elif (self.migrate_deltas and ma.valid and identity is None
+                    and ma.signature is not None and not ma.signature[2]
+                    and self._migrate(ma, placement, blocks, signature)):
+                pass
             else:
                 self._load(ma, placement, blocks, signature, identity)
             # (Re)wire write-side system structures for this loop.
@@ -265,6 +307,106 @@ class DataLoader:
         ma.signature = signature
         ma.valid = True
         self.loads += 1
+
+    def _migrate(self, ma: ManagedArray, placement: Placement,
+                 blocks: list[Block], signature: tuple) -> bool:
+        """Re-place ``ma`` by moving only the old/new block deltas.
+
+        Data already resident on a GPU is kept with a free device-local
+        copy; when the device holds the freshest data, segments now
+        needed elsewhere are fetched from their old owners over the
+        peer bus; only segments no device copy can provide come from
+        the host (priced H2D like a normal load).  Returns ``False``
+        when freshness cannot be preserved (the caller then falls back
+        to writeback + full reload).
+        """
+        ngpus = self.platform.ngpus
+        old_blocks = list(ma.blocks)
+        old_buffers = list(ma.buffers)
+        # Per-GPU regions whose freshest copy is device-resident.
+        fresh = [Block(0, 0)] * ngpus
+        if ma.device_ahead:
+            if ma.placement == Placement.REPLICA:
+                # Replicas are coherent after the communication step:
+                # the first resident copy is authoritative.
+                for g, buf in enumerate(old_buffers):
+                    if buf is not None and old_blocks[g].size:
+                        fresh[g] = old_blocks[g]
+                        break
+            else:
+                for g, buf in enumerate(old_buffers):
+                    if buf is not None:
+                        fresh[g] = ma.primary[g].intersect(old_blocks[g])
+            # Every device-fresh element must land in some new buffer,
+            # or its value would be lost to later writebacks (which
+            # gather the new primary blocks only).
+            for fr in fresh:
+                if any(seg.size for seg in _subtract(fr, blocks)):
+                    return False
+        if self.pre_access_hook is not None:
+            self.pre_access_hook(ma.name)
+        new_buffers: list[DeviceBuffer | None] = [None] * ngpus
+        for g in range(ngpus):
+            blk = blocks[g]
+            if blk.size == 0:
+                continue
+            buf = self.platform.malloc(
+                g, ma.name, blk.size, ma.host.dtype,
+                purpose=PURPOSE_USER, base=blk.lo)
+            # Baseline fill from the staging image; only the segments no
+            # device copy provides are priced as transfers below.
+            np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
+            covered: list[Block] = []
+            # 1. Device-local keep: free (no bus traffic).
+            if old_buffers[g] is not None:
+                local_src = fresh[g] if ma.device_ahead else old_blocks[g]
+                keep = blk.intersect(local_src)
+                if keep.size > 0:
+                    src = old_buffers[g].data
+                    np.copyto(
+                        buf.data[keep.lo - blk.lo:keep.hi - blk.lo],
+                        src[keep.lo - old_blocks[g].lo:
+                            keep.hi - old_blocks[g].lo])
+                    self.bytes_migrated_local += keep.size * ma.itemsize
+                    covered.append(keep)
+            # 2. Peer fetch of segments whose freshest copy lives on
+            #    another GPU.
+            if ma.device_ahead:
+                for t in range(ngpus):
+                    if t == g or old_buffers[t] is None:
+                        continue
+                    want = blk.intersect(fresh[t])
+                    for seg in _subtract(want, covered):
+                        src = old_buffers[t].data
+                        np.copyto(
+                            buf.data[seg.lo - blk.lo:seg.hi - blk.lo],
+                            src[seg.lo - old_blocks[t].lo:
+                                seg.hi - old_blocks[t].lo])
+                        nbytes = seg.size * ma.itemsize
+                        tr = self.platform.bus.p2p(t, g, nbytes)
+                        # Load-phase traffic: attribute to CPU-GPU time
+                        # so the per-loop load sync waits for it.
+                        tr.category_override = CATEGORY_CPU_GPU
+                        self.bytes_migrated_p2p += nbytes
+                        covered.append(seg)
+            # 3. Host fills for the rest (already copied from staging).
+            if ma.transfer_in or ma.materialized:
+                for seg in _subtract(blk, covered):
+                    nbytes = seg.size * ma.itemsize
+                    self.platform.bus.h2d(g, nbytes)
+                    self.bytes_migrated_h2d += nbytes
+            new_buffers[g] = buf
+        for g, buf in enumerate(old_buffers):
+            if buf is not None:
+                self.platform.devices[g].memory.free(buf)
+        ma.buffers = new_buffers
+        ma.blocks = list(blocks)
+        ma.primary = primary_blocks(blocks, ma.length)
+        ma.placement = placement
+        ma.signature = signature
+        ma.valid = True
+        self.migrations += 1
+        return True
 
     def _prepare_write_side(self, ma: ManagedArray, cfg: ArrayConfig) -> None:
         ngpus = self.platform.ngpus

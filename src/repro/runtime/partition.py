@@ -43,6 +43,64 @@ def split_tasks(lower: int, upper: int, ngpus: int) -> list[tuple[int, int]]:
     return out
 
 
+def split_tasks_weighted(
+    lower: int,
+    upper: int,
+    weights: list[float],
+    min_chunk: int = 0,
+) -> list[tuple[int, int]]:
+    """Contiguous split of ``[lower, upper)`` proportional to ``weights``.
+
+    The adaptive balancer's mapping primitive: slice ``g`` gets
+    ``total * weights[g] / sum(weights)`` tasks.  Sizes are floored and
+    the remainder is distributed one task at a time to the slices with
+    the largest fractional parts (ties broken by lowest GPU index), so
+    the split is deterministic and the remainder never piles onto one
+    GPU.
+
+    ``min_chunk`` raises undersized slices with *positive* weight to at
+    least ``min_chunk`` tasks (taking from the largest slices) so tiny
+    slices don't degenerate; zero-weight GPUs legitimately receive
+    empty slices (the balancer starves devices that cannot pull their
+    weight at any size).  When the range cannot give every active GPU
+    ``min_chunk`` tasks -- or the weights are degenerate -- the split
+    falls back to the equal block split.
+    """
+    ngpus = len(weights)
+    if ngpus < 1:
+        raise PartitionError("need at least one GPU")
+    total = max(0, upper - lower)
+    w = [max(0.0, float(x)) for x in weights]
+    s = sum(w)
+    if total == 0 or s <= 0.0 or not all(np.isfinite(x) for x in w):
+        return split_tasks(lower, upper, ngpus)
+    active = [g for g in range(ngpus) if w[g] > 0.0]
+    if min_chunk > 0 and total < len(active) * min_chunk:
+        return split_tasks(lower, upper, ngpus)
+    raw = [total * x / s for x in w]
+    sizes = [int(r) for r in raw]
+    rem = total - sum(sizes)
+    order = sorted(active, key=lambda g: (-(raw[g] - sizes[g]), g))
+    # rem == sum of the active slices' fractional parts, so rem < len(active).
+    for g in order[:rem]:
+        sizes[g] += 1
+    if min_chunk > 0:
+        for g in active:
+            while sizes[g] < min_chunk:
+                donor = max(range(ngpus), key=lambda d: sizes[d])
+                take = min(min_chunk - sizes[g], sizes[donor] - min_chunk)
+                if take <= 0:
+                    return split_tasks(lower, upper, ngpus)
+                sizes[g] += take
+                sizes[donor] -= take
+    out: list[tuple[int, int]] = []
+    start = lower
+    for g in range(ngpus):
+        out.append((start, start + sizes[g]))
+        start += sizes[g]
+    return out
+
+
 @dataclass(frozen=True)
 class Block:
     """A loaded array block: global element range [lo, hi)."""

@@ -81,6 +81,18 @@ class ArrayConfig:
     #: Layout transformation applied (section IV-B4): strided reads of
     #: this read-only localaccess array are priced as coalesced.
     coalesced_hint: bool = False
+    #: Derived read/write window for replica-placed arrays whose every
+    #: access is affine in the loop variable with one shared coefficient
+    #: and constant offsets.  The adaptive runtime's placement advisor
+    #: may demote such an array to distribution at run time using this
+    #: window -- the generated kernel is oblivious (all accesses are
+    #: buffer-local against ``ctx.base``), so the switch is a pure data
+    #: placement decision.
+    inferred_window: "ReadWindow | None" = None
+    #: ``(coeff, lo_offset, hi_offset)`` of the inferred window: every
+    #: access of iteration ``i`` falls in
+    #: ``[coeff*i + lo_offset, coeff*i + hi_offset]``.
+    inferred_span: tuple[int, int, int] | None = None
 
     @property
     def read_only(self) -> bool:

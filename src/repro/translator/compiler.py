@@ -422,6 +422,24 @@ def _build_loop_config(name: str, loop_var: str, analysis: LoopAnalysis,
         if (options.layout_transform and cfg.read_only and spec is not None
                 and not any(a.data_dependent for a in usage.accesses)):
             cfg.coalesced_hint = True
+        # Derived window for the adaptive placement advisor: a replica
+        # array whose every access (read and write) is affine in the
+        # loop variable with one shared positive coefficient and
+        # constant offsets is safely distributable at run time -- the
+        # per-iteration footprint is exactly [coeff*i+lo, coeff*i+hi].
+        if (cfg.placement == Placement.REPLICA
+                and cfg.write_handling == WriteHandling.DIRTY_BITS
+                and spec is None):
+            span = _affine_access_span(usage, loop_var)
+            if span is not None:
+                coeff, lo_c, hi_c = span
+                i = C.Ident(loop_var)
+                scaled = C.BinOp("*", C.IntLit(coeff), i)
+                cfg.inferred_window = ReadWindow(
+                    lower=C.BinOp("+", scaled, C.IntLit(lo_c)),
+                    upper=C.BinOp("+", scaled, C.IntLit(hi_c)),
+                )
+                cfg.inferred_span = span
         config.arrays[arr_name] = cfg
     # Unknown localaccess targets are programmer errors worth reporting.
     for n in localaccess:
@@ -437,6 +455,39 @@ def _array_len_expr(sym) -> C.Expr:
     # Pointer parameter: length unknown statically; the loader clamps the
     # window to the actual host array at run time, so any large bound works.
     return C.IntLit(1 << 62)
+
+
+def _affine_access_span(usage, loop_var: str) -> tuple[int, int, int] | None:
+    """Tight affine access envelope of one array in one parallel loop.
+
+    Returns ``(coeff, lo, hi)`` such that every access of iteration
+    ``i`` -- reads and writes alike -- touches only
+    ``[coeff*i + lo, coeff*i + hi]``, or ``None`` when any access is
+    non-affine, offsets are not compile-time constants, or the
+    coefficients disagree.  ``coeff >= 1`` guarantees the window is
+    monotone in the loop variable, which the runtime partitioner
+    requires.
+    """
+    coeff: int | None = None
+    lo: int | None = None
+    hi: int | None = None
+    for acc in usage.accesses:
+        if acc.affine is None or acc.data_dependent:
+            return None
+        if acc.affine.coeff < 1:
+            return None
+        if coeff is None:
+            coeff = acc.affine.coeff
+        elif acc.affine.coeff != coeff:
+            return None
+        b = const_value(acc.affine.offset)
+        if b is None:
+            return None
+        lo = b if lo is None else min(lo, b)
+        hi = b if hi is None else max(hi, b)
+    if coeff is None or lo is None or hi is None:
+        return None
+    return coeff, lo, hi
 
 
 def _writes_proven_local(usage, window: ReadWindow | None,

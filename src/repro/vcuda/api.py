@@ -48,9 +48,10 @@ class Platform:
             )
         self.machine = machine
         self.clock = VirtualClock()
-        self.devices = [Device(i, machine.gpu) for i in range(ngpus)]
+        self.devices = [Device(i, spec)
+                        for i, spec in enumerate(machine.gpu_specs[:ngpus])]
         self.bus = Bus(machine, self.clock)
-        self.profiler = Profiler(self.clock)
+        self.profiler = Profiler(self.clock, ngpus=ngpus)
 
     @property
     def ngpus(self) -> int:
@@ -248,4 +249,4 @@ class Platform:
         for d in self.devices:
             d.reset()
         self.bus = Bus(self.machine, self.clock)
-        self.profiler = Profiler(self.clock)
+        self.profiler = Profiler(self.clock, ngpus=self.ngpus)

@@ -123,6 +123,19 @@ TESLA_M2050 = GpuSpec(
     mem_capacity=3 * GB,
 )
 
+TESLA_C1060 = GpuSpec(
+    name="Tesla C1060",
+    cuda_cores=240,
+    sm_count=30,
+    clock_hz=1.296e9,
+    peak_sp_flops=622e9,
+    mem_bandwidth=102e9,
+    mem_capacity=4 * GB,
+    # GT200 has no L2 cache: scattered gathers fall much closer to the
+    # worst case than on Fermi parts.
+    random_efficiency=0.25,
+)
+
 CORE_I7_980 = CpuSpec(
     name="Intel Core i7 (6C/12T)",
     cores=6,
@@ -167,6 +180,11 @@ class MachineSpec:
 
     ``gpu_hub`` assigns each GPU index to an I/O hub; peer transfers
     between GPUs on different hubs use ``bus.p2p_cross_hub``.
+
+    ``gpus`` optionally lists one spec per GPU slot for heterogeneous
+    nodes (mixed device generations); when empty, every slot holds
+    ``gpu``.  ``gpu`` stays the nominal part for Table I rendering and
+    as the default device model.
     """
 
     name: str
@@ -176,16 +194,40 @@ class MachineSpec:
     gpu_count: int
     bus: BusSpec
     gpu_hub: tuple[int, ...] = field(default=())
+    gpus: tuple[GpuSpec, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.gpu_hub and len(self.gpu_hub) != self.gpu_count:
             raise ValueError("gpu_hub must list one hub id per GPU")
+        if self.gpus and len(self.gpus) != self.gpu_count:
+            raise ValueError("gpus must list one spec per GPU slot")
 
     def hub_of(self, gpu_index: int) -> int:
         """I/O hub id hosting GPU ``gpu_index`` (default: hub 0)."""
         if not self.gpu_hub:
             return 0
         return self.gpu_hub[gpu_index]
+
+    @property
+    def gpu_specs(self) -> tuple[GpuSpec, ...]:
+        """Per-slot GPU specs (uniform nodes repeat ``gpu``)."""
+        if self.gpus:
+            return self.gpus
+        return (self.gpu,) * self.gpu_count
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len({g.name for g in self.gpu_specs}) > 1
+
+    @property
+    def gpu_mix_label(self) -> str:
+        """Human-readable GPU model mix, e.g. ``2x A + 1x B``."""
+        counts: dict[str, int] = {}
+        for g in self.gpu_specs:
+            counts[g.name] = counts.get(g.name, 0) + 1
+        if len(counts) == 1:
+            return next(iter(counts))
+        return " + ".join(f"{n}x {name}" for name, n in counts.items())
 
     @property
     def total_cpu_threads(self) -> int:

@@ -12,6 +12,7 @@ from repro.runtime.partition import (
     owner_of,
     primary_blocks,
     split_tasks,
+    split_tasks_weighted,
     window_for_tasks,
 )
 from repro.translator.array_config import ReadWindow
@@ -51,6 +52,76 @@ class TestSplitTasks:
             assert a0 <= a1
         sizes = [b - a for a, b in slices]
         assert max(sizes) - min(sizes) <= 1  # equal block split
+
+
+class TestSplitTasksWeighted:
+    def test_equal_weights_match_equal_split(self):
+        for total, g in [(12, 3), (10, 3), (7, 4), (0, 2), (2, 4)]:
+            assert split_tasks_weighted(0, total, [1.0] * g) == \
+                split_tasks(0, total, g)
+
+    def test_proportional_sizes(self):
+        slices = split_tasks_weighted(0, 100, [3.0, 1.0])
+        assert slices == [(0, 75), (75, 100)]
+
+    def test_remainder_follows_fractional_parts(self):
+        # raw = [3.33.., 3.33.., 3.33..] over 10 tasks: the two extra
+        # tasks go to the lowest-indexed GPUs (deterministic ties).
+        assert split_tasks_weighted(0, 10, [1.0, 1.0, 1.0]) == \
+            [(0, 4), (4, 7), (7, 10)]
+        # raw = [1.8, 7.2]: GPU 0 has the larger fractional part.
+        assert split_tasks_weighted(0, 9, [1.0, 4.0]) == [(0, 2), (2, 9)]
+
+    def test_zero_weight_gets_empty_slice(self):
+        slices = split_tasks_weighted(0, 10, [1.0, 0.0, 1.0], min_chunk=1)
+        assert slices == [(0, 5), (5, 5), (5, 10)]
+
+    def test_min_chunk_raises_small_active_slices(self):
+        slices = split_tasks_weighted(0, 100, [99.0, 1.0], min_chunk=8)
+        assert slices == [(0, 92), (92, 100)]
+
+    def test_min_chunk_infeasible_falls_back_to_equal(self):
+        assert split_tasks_weighted(0, 3, [1.0, 1.0], min_chunk=2) == \
+            split_tasks(0, 3, 2)
+
+    def test_degenerate_weights_fall_back_to_equal(self):
+        for bad in ([0.0, 0.0], [-1.0, -2.0], [float("inf"), 1.0]):
+            assert split_tasks_weighted(0, 10, bad) == split_tasks(0, 10, 2)
+        # NaN clamps to zero weight: the finite peer takes everything.
+        assert split_tasks_weighted(0, 10, [float("nan"), 1.0]) == \
+            [(0, 0), (0, 10)]
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(PartitionError):
+            split_tasks_weighted(0, 10, [])
+
+    @given(st.integers(0, 1000), st.integers(0, 500), st.integers(1, 8),
+           st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_invariants(self, lo, size, g, data):
+        hi = lo + size
+        weights = data.draw(st.lists(
+            st.floats(0.0, 100.0, allow_nan=False), min_size=g, max_size=g))
+        min_chunk = data.draw(st.integers(0, 4))
+        slices = split_tasks_weighted(lo, hi, weights, min_chunk)
+        # Same tiling invariants as the equal split: exact contiguous
+        # cover of [lo, hi), no negative slices, regardless of weights.
+        assert len(slices) == g
+        assert slices[0][0] == lo and slices[-1][1] == hi
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 == b0
+        for a0, a1 in slices:
+            assert a0 <= a1
+
+    @given(st.integers(1, 500), st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_tracks_weights(self, size, g):
+        # One GPU weighted 3x its peers gets the largest slice.
+        weights = [1.0] * g
+        weights[0] = 3.0
+        slices = split_tasks_weighted(0, size, weights)
+        sizes = [b - a for a, b in slices]
+        assert sizes[0] == max(sizes)
 
 
 class TestBlocks:
