@@ -23,6 +23,7 @@ The package implements the paper's full stack:
 
 from .api import (AccProgram, ProgramRun, TimelineEvent, compile,
                   compile_fortran, format_timeline)
+from .sanitizer import CoherenceViolation
 from .translator.compiler import CompileError, CompileOptions
 from .vcuda.specs import DESKTOP_MACHINE, MACHINES, SUPERCOMPUTER_NODE
 
@@ -37,6 +38,7 @@ __all__ = [
     "format_timeline",
     "CompileOptions",
     "CompileError",
+    "CoherenceViolation",
     "MACHINES",
     "DESKTOP_MACHINE",
     "SUPERCOMPUTER_NODE",

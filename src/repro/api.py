@@ -17,6 +17,7 @@ platforms) or any :class:`~repro.vcuda.specs.MachineSpec`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -61,6 +62,8 @@ class ProgramRun:
     executor: AccExecutor
     breakdown: TimeBreakdown
     loop_stats: list[LoopRunStats] = field(default_factory=list)
+    #: The coherence sanitizer, when the run was sanitized (else None).
+    sanitizer: Any | None = None
 
     @property
     def elapsed(self) -> float:
@@ -139,6 +142,7 @@ class AccProgram:
         overlap: bool = False,
         coalesce: bool = False,
         adaptive: bool = False,
+        sanitize: bool | None = None,
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
@@ -150,16 +154,35 @@ class AccProgram:
         bus transaction.  ``adaptive=True`` enables profile-guided task
         mapping and placement switching (delta migration between
         splits).  All three change only *timing*, never results.
+
+        ``sanitize=True`` (or ``REPRO_SANITIZE=1`` in the environment)
+        enables the multi-GPU coherence sanitizer: every parallel loop
+        is shadow-executed single-GPU and diffed, runtime coherence
+        invariants are asserted, and ``localaccess`` declarations are
+        audited (:mod:`repro.sanitizer`).  Checks work purely in data
+        space and never touch the virtual clock, so modeled time is
+        unchanged; wall-clock cost is roughly one interpreter pass per
+        loop.  Violations raise
+        :class:`~repro.sanitizer.CoherenceViolation`.
         """
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
         spec = MACHINES[machine] if isinstance(machine, str) else machine
         platform = Platform(spec, ngpus)
         loader = DataLoader(platform, chunk_bytes=chunk_bytes,
                             reload_skipping=reload_skipping,
                             migrate_deltas=adaptive)
+        sanitizer = None
+        if sanitize:
+            from .sanitizer import Sanitizer
+
+            sanitizer = Sanitizer(loader)
+            for dev in platform.devices:
+                dev.memory.poison_on_free = True
         executor = AccExecutor(platform, loader, engine=engine,
                                tree_reduction=tree_reduction,
                                overlap=overlap, coalesce=coalesce,
-                               adaptive=adaptive)
+                               adaptive=adaptive, sanitizer=sanitizer)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(
@@ -168,6 +191,7 @@ class AccProgram:
             executor=executor,
             breakdown=platform.profiler.snapshot(),
             loop_stats=list(executor.history),
+            sanitizer=sanitizer,
         )
 
 

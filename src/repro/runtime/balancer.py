@@ -365,6 +365,7 @@ class AdaptiveBalancer:
                     st.demoted = True
                     st.cooldown = self.cooldown
                     st.switches += 1
+                    self._note_switch(name)
             else:
                 if (st.windowed_bytes_avg * self.promote_factor
                         >= st.replica_bytes_avg
@@ -372,6 +373,15 @@ class AdaptiveBalancer:
                     st.demoted = False
                     st.cooldown = self.cooldown
                     st.switches += 1
+                    self._note_switch(name)
+
+    def _note_switch(self, name: str) -> None:
+        """Placement switch decided: the loader's reload-skip fast path
+        for this array is stale until the next load/migration (the old
+        layout no longer matches what the switched placement will
+        request, even where the signature tuple still compares equal)."""
+        if self.loader is not None:
+            self.loader.note_placement_switch(name)
 
     def _ema(self, avg: float, value: float, st: ArrayPolicyState) -> float:
         if avg <= 0.0:

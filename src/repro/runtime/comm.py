@@ -452,6 +452,10 @@ class CommunicationManager:
                     self._note(tr, g, t)
                     self.bytes_miss += nbytes
                     self._account(ma.name, "miss", nbytes, transfers=1)
+            # Release any overflow growth steps: the buffer returns to
+            # its up-front capacity for the next loop (high_water keeps
+            # the peak for the Fig. 9 accounting).
+            buf.reset()
 
     def _refresh_halos(self, ma: ManagedArray) -> None:
         """Owner blocks changed: update overlapping copies on other GPUs."""

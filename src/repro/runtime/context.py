@@ -75,11 +75,18 @@ class AccExecutor:
         coalesce: bool = False,
         adaptive: bool = False,
         balancer: AdaptiveBalancer | None = None,
+        sanitizer: Any | None = None,
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
         self.platform = platform
         self.loader = loader or DataLoader(platform)
+        #: Opt-in coherence sanitizer (:mod:`repro.sanitizer`).  None by
+        #: default: the hot path pays a single ``is None`` test per loop.
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            self.loader.sanitizer = sanitizer
+            sanitizer.engine = engine
         self.comm = CommunicationManager(platform, self.loader,
                                          tree_reduction=tree_reduction,
                                          overlap=overlap, coalesce=coalesce)
@@ -137,6 +144,9 @@ class AccExecutor:
                     CATEGORY_CPU_GPU)
             else:
                 stats.load_seconds = self.platform.bus.sync()
+        if self.sanitizer is not None:
+            # Pre-launch invariants + shadow run (oracle).
+            self.sanitizer.before_kernels(plan, configs, tasks, host_env)
 
         # Step 2: compute.
         kern0 = self.platform.clock.elapsed_in(CATEGORY_KERNELS)
@@ -170,6 +180,9 @@ class AccExecutor:
         if not self.overlap:
             stats.kernel_seconds = self.platform.sync_devices()
         stats.dyn_counts = [dict(c.dyn_counts) for c in contexts]
+        if self.sanitizer is not None:
+            # Dirty-bit soundness, while the bits are still set.
+            self.sanitizer.after_kernels(plan)
 
         # Step 3: communicate.
         stats.comm_seconds = self.comm.after_kernels(configs)
@@ -187,6 +200,10 @@ class AccExecutor:
             [c.scalar_ops for c in contexts],
             host_env,
         )
+        if self.sanitizer is not None:
+            # Replay completeness, replica agreement, localaccess spans,
+            # and the oracle diff of every written array and scalar.
+            self.sanitizer.after_comm(plan, host_env)
         if self.adaptive and self.balancer is not None:
             self.balancer.observe(plan, tasks, per_gpu_seconds,
                                   self.comm.last_call_bytes)

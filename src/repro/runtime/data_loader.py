@@ -95,6 +95,11 @@ class ManagedArray:
     #: then on the host copy is meaningful data even for 'create' arrays,
     #: so reloads must be priced as real transfers.
     materialized: bool = False
+    #: Set when an external placement decision (the adaptive advisor's
+    #: demote/promote) made the resident layout suspect: the reload-skip
+    #: fast path must not fire until the next load/migration rebuilds
+    #: the layout, even if the signature happens to match again.
+    skip_invalidated: bool = False
 
     @property
     def itemsize(self) -> int:
@@ -127,6 +132,9 @@ class DataLoader:
         #: executor installs a barrier here: queued kernels and in-flight
         #: communication on the array must land first.
         self.pre_access_hook = None
+        #: Opt-in coherence sanitizer; when set, every reload-skip is
+        #: verified against the coherent global image.
+        self.sanitizer = None
         #: Loader telemetry (ablation benchmarks read these).
         self.loads = 0
         self.reloads_skipped = 0
@@ -214,6 +222,16 @@ class DataLoader:
                 f"array {name!r} is not present in any data region")
         return ma
 
+    def note_placement_switch(self, name: str) -> None:
+        """The adaptive advisor demoted or promoted ``name``: the
+        resident layout no longer matches the placement the next loop
+        will request, so the reload-skip fast path must not fire until
+        a load or delta migration rebuilds it.  (The signature alone is
+        not a safe guard across a demote/promote pair.)"""
+        ma = self.arrays.get(name)
+        if ma is not None:
+            ma.skip_invalidated = True
+
     # -- per-kernel loading --------------------------------------------------------
 
     def ensure_for_loop(
@@ -262,8 +280,10 @@ class DataLoader:
             signature = (placement, tuple((b.lo, b.hi) for b in blocks),
                          identity is not None)
             if (self.reload_skipping and ma.valid and ma.signature == signature
-                    and identity is None):
+                    and identity is None and not ma.skip_invalidated):
                 self.reloads_skipped += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.check_reload_skip(ma)
             elif (self.migrate_deltas and ma.valid and identity is None
                     and ma.signature is not None and not ma.signature[2]
                     and self._migrate(ma, placement, blocks, signature)):
@@ -306,6 +326,7 @@ class DataLoader:
         ma.placement = placement
         ma.signature = signature
         ma.valid = True
+        ma.skip_invalidated = False
         self.loads += 1
 
     def _migrate(self, ma: ManagedArray, placement: Placement,
@@ -405,6 +426,7 @@ class DataLoader:
         ma.placement = placement
         ma.signature = signature
         ma.valid = True
+        ma.skip_invalidated = False
         self.migrations += 1
         return True
 

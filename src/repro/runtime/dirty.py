@@ -55,19 +55,22 @@ class TwoLevelDirty:
         self.n_chunks = max(1, -(-n_elements // self.elems_per_chunk)) if n_elements else 0
         self.stats = DirtyStats()
         self._bufs = []
+        # Both bit arrays are sized exactly (an empty array gets empty
+        # bitmaps): a phantom chunk 0 for zero-length arrays would make
+        # the element and chunk levels disagree about what exists.
         if memory is not None:
             # Account the bit arrays as runtime ("System") device memory.
             self._bufs.append(memory.alloc(
                 f"dirty:{name}", n_elements, np.uint8,
                 purpose=PURPOSE_SYSTEM, fill=0))
             self._bufs.append(memory.alloc(
-                f"dirty2:{name}", max(1, self.n_chunks), np.uint8,
+                f"dirty2:{name}", self.n_chunks, np.uint8,
                 purpose=PURPOSE_SYSTEM, fill=0))
             self.element_bits = self._bufs[0].data
             self.chunk_bits = self._bufs[1].data
         else:
             self.element_bits = np.zeros(n_elements, dtype=np.uint8)
-            self.chunk_bits = np.zeros(max(1, self.n_chunks), dtype=np.uint8)
+            self.chunk_bits = np.zeros(self.n_chunks, dtype=np.uint8)
 
     # -- kernel-side operations ------------------------------------------------
 

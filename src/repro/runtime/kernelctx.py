@@ -54,6 +54,10 @@ class KernelContext:
     #: baseline): missing dirty trackers / windows / reduction copies are
     #: not errors -- writes go straight to the full arrays.
     permissive: bool = False
+    #: Sanitizer instrumentation: called by the scalar interpreter as
+    #: ``access_hook(name, iteration, index, kind)`` for every array
+    #: access (kind 'r' or 'w').  None (the default) costs one branch.
+    access_hook: Any = None
 
     #: Modules exposed to generated code.
     np = np

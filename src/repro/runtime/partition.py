@@ -70,7 +70,11 @@ def split_tasks_weighted(
     if ngpus < 1:
         raise PartitionError("need at least one GPU")
     total = max(0, upper - lower)
-    w = [max(0.0, float(x)) for x in weights]
+    # NaN (a garbage measurement) clamps to zero weight -- explicitly,
+    # not via comparison-order luck; negative weights clamp the same
+    # way.  An all-zero vector or an infinite weight degenerates to the
+    # equal split: both carry no usable proportion information.
+    w = [0.0 if x != x else max(0.0, float(x)) for x in weights]
     s = sum(w)
     if total == 0 or s <= 0.0 or not all(np.isfinite(x) for x in w):
         return split_tasks(lower, upper, ngpus)
@@ -98,6 +102,13 @@ def split_tasks_weighted(
     for g in range(ngpus):
         out.append((start, start + sizes[g]))
         start += sizes[g]
+    # Defense in depth: a weighted split that is not an exact
+    # contiguous cover of [lower, upper) (negative slice, gap, or
+    # overlap) would silently drop or duplicate iterations downstream.
+    if start != upper or any(b < a for a, b in out):
+        raise PartitionError(
+            f"weighted split produced an invalid cover of "
+            f"[{lower}, {upper}): {out}")
     return out
 
 

@@ -39,6 +39,8 @@ class WriteMissBuffer:
             raise ValueError("miss buffer capacity must be positive")
         self.name = name
         self.capacity = capacity
+        #: Up-front allocation size; :meth:`reset` shrinks back to it.
+        self.base_capacity = capacity
         self.allow_growth = allow_growth
         self.memory = memory
         self._bufs = []
@@ -89,6 +91,27 @@ class WriteMissBuffer:
         self.ops = []
         self.count = 0
         return out
+
+    def reset(self) -> None:
+        """Drop any leftover records and release growth allocations.
+
+        Growth steps are a per-loop overflow response; keeping them
+        alive forever would ratchet the system-memory footprint up to
+        the worst loop's miss count (``high_water`` already records the
+        peak for Fig. 9).  The communication manager calls this after
+        replaying a loop's misses, restoring the up-front
+        ``base_capacity`` so the accountant's live bytes return to the
+        steady state.
+        """
+        self.addresses = []
+        self.values = []
+        self.ops = []
+        self.count = 0
+        if self.memory is not None:
+            for b in self._bufs[1:]:
+                self.memory.free(b)
+            self._bufs = self._bufs[:1]
+        self.capacity = self.base_capacity
 
     @property
     def record_bytes(self) -> int:

@@ -1,0 +1,107 @@
+"""``localaccess`` window auditor.
+
+The paper's distribution-based placement trusts the programmer's
+``localaccess`` declaration: each GPU loads only the declared
+per-iteration read window (plus halo) of a distributed array.  An
+*under-declared* window is a user-level race the model cannot express
+-- iteration ``i`` reads an element its GPU never loaded, and on real
+hardware gets stale or unmapped memory.
+
+The auditor rides on the shadow oracle's interpreter pass: a hook on
+every scalar array access records the actual per-iteration index span,
+and :meth:`LocalAccessAuditor.verify` re-evaluates the declared bounds
+(``stride(s, l, r)`` -> ``s*i - l .. s*(i+1) - 1 + r``, plus the
+range/bounds forms) for each recorded iteration.  Any access outside
+the declared window raises :class:`CoherenceViolation` naming the
+loop, array, and offending index range.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..runtime.data_loader import DataLoader
+from ..runtime.partition import make_window_evaluator
+from ..translator.array_config import ArrayConfig, Placement, WriteHandling
+from .violations import CoherenceViolation
+
+#: spans: array name -> iteration -> [min index, max index] accessed.
+Spans = dict[str, dict[int, list[int]]]
+
+
+class LocalAccessAuditor:
+    """Records and validates actual access spans per iteration."""
+
+    def __init__(self, loader: DataLoader) -> None:
+        self.loader = loader
+        #: Telemetry: (loop, array) pairs audited.
+        self.audited = 0
+
+    def recorder(self, configs: dict[str, ArrayConfig],
+                 ) -> tuple[Callable[..., None] | None, Spans]:
+        """Build the access hook for one loop's shadow run.
+
+        Only arrays with a *user-declared* window are audited
+        (``spec is not None`` -- windows the adaptive advisor inferred
+        are compiler-derived and sound by construction).  Write misses
+        on miss-checked arrays are legal (the runtime replays them), so
+        their writes are exempt; reads never are.
+        """
+        targets = {
+            name for name, cfg in configs.items()
+            if cfg.placement == Placement.DISTRIBUTED
+            and cfg.window is not None and cfg.window.spec is not None
+            and cfg.window.spec.kind != "all"
+        }
+        if not targets:
+            return None, {}
+        miss_exempt = {
+            name for name in targets
+            if configs[name].write_handling == WriteHandling.MISS_CHECK
+        }
+        spans: Spans = {name: {} for name in targets}
+
+        def hook(name: str, iteration: int | None, idx: int,
+                 kind: str) -> None:
+            if name not in spans or iteration is None:
+                return
+            if kind == "w" and name in miss_exempt:
+                return
+            per_iter = spans[name]
+            cur = per_iter.get(iteration)
+            if cur is None:
+                per_iter[iteration] = [idx, idx]
+            elif idx < cur[0]:
+                cur[0] = idx
+            elif idx > cur[1]:
+                cur[1] = idx
+
+        return hook, spans
+
+    def verify(self, plan: Any, configs: dict[str, ArrayConfig],
+               spans: Spans, host_env: dict[str, Any]) -> None:
+        """Check every recorded span against the declared window."""
+        if not any(spans.values()):
+            return
+        host_arrays = {n: m.host for n, m in self.loader.arrays.items()}
+        evaluate = make_window_evaluator(plan.loop_var, dict(host_env),
+                                         host_arrays)
+        for name, per_iter in spans.items():
+            if not per_iter:
+                continue
+            window = configs[name].window
+            assert window is not None
+            self.audited += 1
+            for it in sorted(per_iter):
+                mn, mx = per_iter[it]
+                lo = evaluate(window.lower, it)
+                hi = evaluate(window.upper, it)
+                if mn < lo or mx > hi:
+                    raise CoherenceViolation(
+                        "localaccess-underdeclared", loop=plan.name,
+                        array=name, lo=mn, hi=mx,
+                        detail=(f"iteration {it} accessed [{mn}, {mx}] but "
+                                f"the declared localaccess window is "
+                                f"[{lo}, {hi}]; under-declared windows are "
+                                "a race under distribution-based "
+                                "placement"))

@@ -1,0 +1,219 @@
+"""Runtime coherence invariants (checked around every parallel loop).
+
+These checks are independent of the shadow oracle: they validate the
+*mechanisms* (dirty bits, halo refresh, miss replay, reload skipping)
+rather than the values a loop computes, so a violation here names the
+broken machinery directly even when the end result happens to be
+right.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..runtime.data_loader import DataLoader, ManagedArray
+from ..translator.array_config import ArrayConfig, Placement, WriteHandling
+from .oracle import first_mismatch, global_view
+from .violations import CoherenceViolation
+
+
+def _changed_mask(actual: np.ndarray, snapshot: np.ndarray) -> np.ndarray:
+    """Elements whose value differs from the pre-kernel snapshot.
+
+    NaN-aware: an element that stayed NaN did not change (plain ``!=``
+    would flag every resident NaN as an unmarked write).
+    """
+    if np.issubdtype(actual.dtype, np.floating):
+        same = (actual == snapshot) | (np.isnan(actual) & np.isnan(snapshot))
+        return ~same
+    return actual != snapshot
+
+
+class InvariantChecker:
+    """Asserts the runtime's coherence invariants for one loader."""
+
+    def __init__(self, loader: DataLoader) -> None:
+        self.loader = loader
+        #: Telemetry for tests: checks executed per family.
+        self.checks = {"pre": 0, "dirty": 0, "miss": 0, "replica": 0,
+                       "reload_skip": 0}
+
+    # -- before the kernels -----------------------------------------------------
+
+    def check_pre_consistency(self, plan: Any,
+                              configs: dict[str, ArrayConfig]) -> None:
+        """Every resident copy agrees with the coherent global image.
+
+        For replica placement this is replica agreement (outside dirty
+        regions -- the bits are clear between loops); for distributed
+        placement it is halo freshness: the halo elements of each block
+        must equal the owner's primary data before the kernel may read
+        them.
+        """
+        for name, cfg in configs.items():
+            if cfg.write_handling == WriteHandling.REDUCTION:
+                continue  # buffers hold the op identity, by design
+            ma = self.loader._get(name)
+            if not ma.valid:
+                continue
+            view = global_view(ma)
+            for g, buf in enumerate(ma.buffers):
+                if buf is None or ma.blocks[g].size == 0:
+                    continue
+                blk = ma.blocks[g]
+                self.checks["pre"] += 1
+                bad = first_mismatch(buf.data, view[blk.lo:blk.hi])
+                if bad is None:
+                    continue
+                e = blk.lo + bad
+                prim = ma.primary[g]
+                if (ma.placement == Placement.DISTRIBUTED
+                        and not (prim.lo <= e < prim.hi)):
+                    kind, transfer = "halo-stale", "halo-refresh"
+                else:
+                    kind, transfer = "replica-divergence", "replica-broadcast"
+                raise CoherenceViolation(
+                    kind, loop=plan.name, array=name, gpu=g, lo=e, hi=e,
+                    transfer=transfer,
+                    detail=(f"resident copy holds {buf.data[bad]!r} but the "
+                            f"coherent image holds {view[e]!r} before "
+                            "launch"))
+
+    def snapshot_dirty_arrays(
+            self, configs: dict[str, ArrayConfig],
+    ) -> dict[str, list[np.ndarray | None]]:
+        """Pre-kernel buffer copies of every dirty-bit tracked array."""
+        snaps: dict[str, list[np.ndarray | None]] = {}
+        for name, cfg in configs.items():
+            if cfg.write_handling != WriteHandling.DIRTY_BITS:
+                continue
+            ma = self.loader._get(name)
+            snaps[name] = [buf.data.copy() if buf is not None else None
+                           for buf in ma.buffers]
+        return snaps
+
+    # -- between the kernels and the communication phase ------------------------
+
+    def check_dirty_soundness(
+            self, plan: Any,
+            snapshots: dict[str, list[np.ndarray | None]]) -> None:
+        """Every changed element is marked, and every marked element's
+        chunk bit is set (the two-level structure is internally sound).
+
+        Runs after the kernels and before the communication phase
+        clears the bits.
+        """
+        for name, snaps in snapshots.items():
+            ma = self.loader._get(name)
+            for g, snap in enumerate(snaps):
+                buf = ma.buffers[g]
+                tracker = ma.dirty[g]
+                if buf is None or snap is None or tracker is None:
+                    continue
+                blk = ma.blocks[g]
+                self.checks["dirty"] += 1
+                changed = _changed_mask(buf.data, snap)
+                marked = tracker.element_bits[blk.lo:blk.hi].astype(bool)
+                unmarked = changed & ~marked
+                if unmarked.any():
+                    e = blk.lo + int(np.argmax(unmarked))
+                    raise CoherenceViolation(
+                        "dirty-unmarked", loop=plan.name, array=name,
+                        gpu=g, lo=e, hi=e,
+                        chunk=e // tracker.elems_per_chunk,
+                        transfer="replica-broadcast",
+                        detail=("element changed on the device but its "
+                                "dirty bit is clear; the write would never "
+                                "be propagated"))
+                idx = np.nonzero(tracker.element_bits)[0]
+                if idx.size:
+                    chunks = idx // tracker.elems_per_chunk
+                    missing = ~tracker.chunk_bits[chunks].astype(bool)
+                    if missing.any():
+                        e = int(idx[np.argmax(missing)])
+                        raise CoherenceViolation(
+                            "dirty-chunk-missing", loop=plan.name,
+                            array=name, gpu=g, lo=e, hi=e,
+                            chunk=e // tracker.elems_per_chunk,
+                            transfer="replica-broadcast",
+                            detail=("element bit set without its chunk "
+                                    "bit; the sender's second-level scan "
+                                    "would skip this write"))
+
+    # -- after the communication phase ------------------------------------------
+
+    def check_post_coherence(self, plan: Any,
+                             configs: dict[str, ArrayConfig]) -> None:
+        """Replay completeness + replica agreement after communication.
+
+        Miss buffers must be fully drained, dirty bits cleared, and all
+        resident replica copies bit-identical (the broadcast reached
+        every replica).
+        """
+        for name, cfg in configs.items():
+            ma = self.loader._get(name)
+            if cfg.write_handling == WriteHandling.MISS_CHECK:
+                for g, buf in enumerate(ma.miss):
+                    if buf is None:
+                        continue
+                    self.checks["miss"] += 1
+                    if buf.count:
+                        raise CoherenceViolation(
+                            "miss-undrained", loop=plan.name, array=name,
+                            gpu=g, transfer="miss-replay",
+                            detail=(f"{buf.count} write-miss records left "
+                                    "after the communication phase"))
+            if cfg.write_handling != WriteHandling.DIRTY_BITS:
+                continue
+            for g, tracker in enumerate(ma.dirty):
+                if tracker is not None and tracker.any_dirty:
+                    raise CoherenceViolation(
+                        "dirty-uncleared", loop=plan.name, array=name,
+                        gpu=g, transfer="replica-broadcast",
+                        detail="dirty bits survive the communication phase")
+            if ma.placement != Placement.REPLICA:
+                continue  # demoted arrays hold different blocks
+            reference: np.ndarray | None = None
+            ref_gpu = -1
+            for g, buf in enumerate(ma.buffers):
+                if buf is None or ma.blocks[g].size == 0:
+                    continue
+                if reference is None:
+                    reference, ref_gpu = buf.data, g
+                    continue
+                self.checks["replica"] += 1
+                bad = first_mismatch(buf.data, reference)
+                if bad is not None:
+                    e = ma.blocks[g].lo + bad
+                    raise CoherenceViolation(
+                        "replica-divergence", loop=plan.name, array=name,
+                        gpu=g, lo=e, hi=e,
+                        transfer="replica-broadcast",
+                        detail=(f"gpu {g} holds {buf.data[bad]!r} but gpu "
+                                f"{ref_gpu} holds {reference[bad]!r} after "
+                                "the communication phase"))
+
+    # -- loader fast path --------------------------------------------------------
+
+    def check_reload_skip(self, ma: ManagedArray) -> None:
+        """A skipped reload is only sound when the resident copies
+        already equal the coherent global image (same placement *and*
+        same data -- e.g. not stale after an adaptive placement
+        switch)."""
+        view = global_view(ma)
+        for g, buf in enumerate(ma.buffers):
+            if buf is None or ma.blocks[g].size == 0:
+                continue
+            blk = ma.blocks[g]
+            self.checks["reload_skip"] += 1
+            bad = first_mismatch(buf.data, view[blk.lo:blk.hi])
+            if bad is not None:
+                e = blk.lo + bad
+                raise CoherenceViolation(
+                    "stale-reload-skip", array=ma.name, gpu=g, lo=e, hi=e,
+                    transfer="reload-skip",
+                    detail=(f"the loader skipped a reload but gpu {g} "
+                            f"holds {buf.data[bad]!r} where the coherent "
+                            f"image holds {view[e]!r}"))

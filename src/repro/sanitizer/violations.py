@@ -1,0 +1,59 @@
+"""Structured coherence diagnostics.
+
+Every sanitizer check reports through one exception type carrying the
+full localization -- which loop, which array, which GPU, which element
+range, which dirty chunk, and which transfer mechanism should have
+carried the data.  Tests and users match on the attributes; the
+formatted message is for humans.
+"""
+
+from __future__ import annotations
+
+
+class CoherenceViolation(RuntimeError):
+    """A multi-GPU coherence invariant failed.
+
+    Attributes mirror the constructor arguments; unknown localizations
+    stay ``None``.  ``kind`` is one of the stable identifiers listed in
+    ``docs/SANITIZER.md`` (e.g. ``result-divergence``,
+    ``dirty-unmarked``, ``localaccess-underdeclared``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        loop: str = "",
+        array: str | None = None,
+        gpu: int | None = None,
+        lo: int | None = None,
+        hi: int | None = None,
+        chunk: int | None = None,
+        transfer: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.kind = kind
+        self.loop = loop
+        self.array = array
+        self.gpu = gpu
+        self.lo = lo
+        self.hi = hi
+        self.chunk = chunk
+        self.transfer = transfer
+        self.detail = detail
+        parts = [f"[{kind}]"]
+        if loop:
+            parts.append(f"loop {loop!r}")
+        if array is not None:
+            parts.append(f"array {array!r}")
+        if gpu is not None:
+            parts.append(f"gpu {gpu}")
+        if lo is not None:
+            parts.append(f"elements [{lo}, {hi if hi is not None else lo}]")
+        if chunk is not None:
+            parts.append(f"chunk {chunk}")
+        if transfer is not None:
+            parts.append(f"via {transfer}")
+        msg = "coherence violation " + " ".join(parts)
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)

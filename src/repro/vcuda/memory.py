@@ -116,6 +116,11 @@ class DeviceMemory:
         self.device_index = device_index
         self.accountant = MemoryAccountant(capacity=capacity)
         self._buffers: list[DeviceBuffer] = []
+        #: Sanitizer support: overwrite freed buffers with a poison
+        #: pattern (NaN for floats, a large sentinel for integers) so a
+        #: stale reference that survives the free produces loudly wrong
+        #: values instead of silently reading the old contents.
+        self.poison_on_free = False
 
     def alloc(
         self,
@@ -160,6 +165,11 @@ class DeviceMemory:
         buf.check_alive()
         self.accountant.free(buf.nbytes, buf.purpose)
         buf.freed = True
+        if self.poison_on_free and buf.data.size:
+            if np.issubdtype(buf.data.dtype, np.floating):
+                buf.data.fill(np.nan)
+            elif np.issubdtype(buf.data.dtype, np.integer):
+                buf.data.fill(np.iinfo(buf.data.dtype).max)
         self._buffers.remove(buf)
 
     def free_all(self) -> None:

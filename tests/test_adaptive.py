@@ -386,6 +386,34 @@ class TestDeltaMigration:
         self.ensure(dl, {"a": c}, [(0, 10), (10, 10)])
         assert dl.arrays["a"].blocks[1] == Block(0, 10)
 
+    def test_placement_switch_invalidates_reload_skip(self):
+        # Regression: after the balancer switches an array's placement
+        # the loader's "same access pattern" fast path must not trust
+        # the stale signature -- the buffers it would skip re-checking
+        # were materialized under the old placement.
+        p = Platform(DESKTOP_MACHINE, 2)
+        dl = DataLoader(p, migrate_deltas=True)
+        host = np.arange(100, dtype=np.float32)
+        dl.enter_region([("a", host, "copyin")])
+        c = dist_cfg("a")
+        tasks = [(0, 50), (50, 100)]
+        self.ensure(dl, {"a": c}, tasks)
+        skipped0 = dl.reloads_skipped
+        loads0, migs0 = dl.loads, dl.migrations
+        dl.note_placement_switch("a")
+        self.ensure(dl, {"a": c}, tasks)
+        assert dl.reloads_skipped == skipped0  # fast path suppressed
+        assert dl.loads + dl.migrations > loads0 + migs0
+        # The invalidation is one-shot: the next stable ensure skips.
+        skipped1 = dl.reloads_skipped
+        self.ensure(dl, {"a": c}, tasks)
+        assert dl.reloads_skipped == skipped1 + 1
+
+    def test_note_placement_switch_on_unknown_array_is_noop(self):
+        p = Platform(DESKTOP_MACHINE, 2)
+        dl = DataLoader(p)
+        dl.note_placement_switch("ghost")  # must not raise
+
 
 # ---------------------------------------------------------------------------
 # End-to-end: adaptive changes timing, never results.
@@ -455,6 +483,18 @@ class TestAdaptiveParity:
         # not reloads, and the windowed path beats the broadcasts.
         assert runs[True].executor.loader.migrations >= 1
         assert runs[True].breakdown.gpu_gpu < runs[False].breakdown.gpu_gpu
+
+    def test_relax_demote_runs_clean_under_sanitizer(self):
+        # A placement switch mid-run exercises the invalidated reload-
+        # skip path and the windowed-propagation coherence machinery;
+        # the sanitizer must find nothing to complain about.
+        prog = repro.compile(RELAX_SRC)
+        args = relax_args(n=200_000, iters=12)
+        run = prog.run("relax", args, machine="desktop", ngpus=2,
+                       adaptive=True, sanitize=True)
+        snap = run.executor.balancer.snapshot()
+        assert any(a["demoted"] for a in snap["arrays"].values())
+        assert run.sanitizer.loops_checked == 12
 
     def test_reload_skip_survives_stable_adaptive_split(self):
         # Regression: with an unchanged split the adaptive loader must

@@ -75,6 +75,36 @@ class TestTwoLevelDirty:
         with pytest.raises(ValueError):
             TwoLevelDirty("a", 10, 8, chunk_bytes=4)
 
+    def test_zero_length_array(self):
+        # An empty array block must get genuinely empty bitmaps: no
+        # phantom chunk 0, nothing to scan, nothing to transfer.
+        d = self.make(n=0)
+        assert d.n_chunks == 0
+        assert d.element_bits.size == 0
+        assert not d.any_dirty
+        assert d.dirty_chunks().size == 0
+        assert d.dirty_elements().size == 0
+        assert d.transfer_bytes() == 0
+        d.mark(np.empty(0, dtype=np.int64))  # legal no-op
+        d.clear()
+        assert not d.any_dirty
+        with pytest.raises(IndexError):
+            d.mark(np.array([0]))  # every index is out of range
+
+    def test_zero_length_device_accounting(self):
+        mem = DeviceMemory(0, 1 << 20)
+        d = TwoLevelDirty("a", 0, 4, memory=mem, chunk_bytes=64)
+        assert d.n_chunks == 0
+        d.release(mem)
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) == 0
+
+    def test_single_element_array(self):
+        d = self.make(n=1)
+        assert d.n_chunks == 1
+        d.mark(np.array([0]))
+        np.testing.assert_array_equal(d.dirty_elements(), [0])
+        assert d.transfer_bytes() == 4  # one partial chunk of one item
+
     @given(st.lists(st.integers(0, 499), min_size=1, max_size=60),
            st.sampled_from([16, 64, 256, 1024]))
     @settings(max_examples=60, deadline=None)
@@ -143,3 +173,42 @@ class TestWriteMissBuffer:
     def test_bad_capacity(self):
         with pytest.raises(ValueError):
             WriteMissBuffer("a", capacity=0)
+
+    def test_reset_releases_growth_steps(self):
+        mem = DeviceMemory(0, 1 << 20)
+        b = WriteMissBuffer("a", capacity=4, memory=mem)
+        base_bytes = mem.live_bytes_of(PURPOSE_SYSTEM)
+        b.record(np.arange(10), np.arange(10.0), "")  # forces growth
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) > base_bytes
+        b.drain()
+        b.reset()
+        # Live system bytes return to the up-front allocation; the
+        # peak record count survives for Fig. 9.
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) == base_bytes
+        assert b.capacity == b.base_capacity == 4
+        assert b.high_water == 10
+
+    def test_repeated_overflow_does_not_ratchet(self):
+        mem = DeviceMemory(0, 1 << 20)
+        b = WriteMissBuffer("a", capacity=4, memory=mem)
+        base_bytes = mem.live_bytes_of(PURPOSE_SYSTEM)
+        for _ in range(5):
+            b.record(np.arange(9), np.arange(9.0), "")
+            b.drain()
+            b.reset()
+        assert mem.live_bytes_of(PURPOSE_SYSTEM) == base_bytes
+        assert mem.high_water_of(PURPOSE_SYSTEM) > base_bytes
+        assert b.high_water == 9
+
+    def test_reset_discards_leftover_records(self):
+        b = WriteMissBuffer("a", capacity=4)
+        b.record(np.arange(2), np.arange(2.0), "")
+        b.reset()
+        assert b.count == 0
+        assert b.drain() == []
+
+    def test_reset_without_memory(self):
+        b = WriteMissBuffer("a", capacity=2)
+        b.record(np.arange(7), np.arange(7.0), "")
+        b.reset()
+        assert b.capacity == 2

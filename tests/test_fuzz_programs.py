@@ -7,11 +7,17 @@ executed with the vectorized engine and the scalar interpreter on 1 and
 class of bugs a vectorizing translator breeds: mask mishandling, type
 promotion drift, operator precedence/codegen mismatches, and
 index-rewriting errors.
+
+Every generated program additionally runs under the coherence
+sanitizer on 1, 2 and 4 GPUs: no :class:`CoherenceViolation` may fire,
+and the outputs must be bit-identical to the unsanitized run of the
+same configuration (the sanitizer is a pure observer).
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.bench.machines import hypothetical_node
 from tests.util import run_source
 
 _SETTINGS = dict(max_examples=40, deadline=None)
@@ -119,6 +125,22 @@ def run_all_engines(src, make):
             np.testing.assert_allclose(
                 args[name], base[name], rtol=2e-5, atol=2e-5,
                 err_msg=f"{name} mismatch at {engine}/{ngpus}")
+    # Sanitized runs: any coherence bug the random program tickles
+    # raises CoherenceViolation; outputs must match the unsanitized
+    # vector run of the same GPU count bit for bit.
+    plain = {1: outs[0][2], 2: outs[1][2]}
+    for ngpus in (1, 2, 4):
+        machine = "desktop" if ngpus <= 2 else hypothetical_node(ngpus)
+        if ngpus not in plain:
+            plain[ngpus], _ = run_source(src, clone(), ngpus=ngpus,
+                                         machine=machine)
+        args, run = run_source(src, clone(), ngpus=ngpus, machine=machine,
+                               sanitize=True)
+        assert run.sanitizer.loops_checked > 0
+        for name in ("y", "z"):
+            np.testing.assert_array_equal(
+                args[name], plain[ngpus][name],
+                err_msg=f"{name} perturbed by sanitizer at ngpus={ngpus}")
 
 
 class TestExpressionFuzz:

@@ -95,6 +95,25 @@ class TestSplitTasksWeighted:
         with pytest.raises(PartitionError):
             split_tasks_weighted(0, 10, [])
 
+    def test_fewer_tasks_than_gpus_still_covers(self):
+        # total < ngpus with skewed weights: every task lands exactly
+        # once, trailing slices may be empty but never negative.
+        slices = split_tasks_weighted(0, 2, [1.0, 2.0, 3.0, 4.0])
+        assert slices[0][0] == 0 and slices[-1][1] == 2
+        for (a0, a1), (b0, b1) in zip(slices, slices[1:]):
+            assert a1 == b0
+            assert a0 <= a1
+        assert sum(b - a for a, b in slices) == 2
+
+    def test_single_task_all_weight_on_one_gpu(self):
+        assert split_tasks_weighted(0, 1, [0.0, 5.0]) == [(0, 0), (0, 1)]
+
+    def test_all_zero_weights_fewer_tasks_than_gpus(self):
+        # Degenerate weights AND total < ngpus at once: falls back to
+        # the equal split, which handles short ranges.
+        assert split_tasks_weighted(0, 2, [0.0, 0.0, 0.0]) == \
+            split_tasks(0, 2, 3)
+
     @given(st.integers(0, 1000), st.integers(0, 500), st.integers(1, 8),
            st.data())
     @settings(max_examples=100, deadline=None)

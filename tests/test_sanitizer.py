@@ -1,0 +1,313 @@
+"""Multi-GPU coherence sanitizer tests.
+
+Three angles: clean programs stay clean (every paper app on 1/2/4
+GPUs, static and adaptive, no violation and unchanged results);
+seeded coherence bugs are caught with the right localization; and the
+sanitizer is a pure observer (off by default, zero modeled-time
+perturbation when on).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import ALL_APPS, EXTRA_APPS
+from repro.bench.machines import hypothetical_node
+from repro.runtime import comm as comm_mod
+from repro.runtime.data_loader import DataLoader
+from repro.runtime.dirty import TwoLevelDirty
+from repro.sanitizer import CoherenceViolation, Sanitizer
+from repro.translator.array_config import ArrayConfig
+from repro.vcuda import DESKTOP_MACHINE, Platform
+from tests.util import run_source
+
+APPS = {**ALL_APPS, **EXTRA_APPS}
+
+STEP = r"""
+void step(int n, float *x, float *y) {
+  #pragma acc data copyin(x[0:n]) copy(y[0:n])
+  {
+    #pragma acc parallel
+    {
+      #pragma acc loop gang
+      for (int i = 0; i < n; i++) { y[i] = x[i] + 1.0f; }
+    }
+    #pragma acc parallel
+    {
+      #pragma acc loop gang
+      for (int i = 0; i < n; i++) { y[i] = y[i] * 2.0f; }
+    }
+  }
+}
+"""
+
+
+def step_args(n=64):
+    return {"n": n, "x": np.arange(n, dtype=np.float32),
+            "y": np.zeros(n, dtype=np.float32)}
+
+
+def run_app(name, ngpus, adaptive=False, sanitize=True):
+    spec = APPS[name]
+    prog = repro.compile(spec.source)
+    machine = "desktop" if ngpus <= 2 else hypothetical_node(ngpus)
+    args = spec.args_for("tiny")
+    snap = spec.snapshot(args)
+    run = prog.run(spec.entry, args, machine=machine, ngpus=ngpus,
+                   sanitize=sanitize, adaptive=adaptive)
+    spec.check(args, snap)
+    return run
+
+
+class TestCleanApps:
+    """Acceptance sweep: all paper apps run violation-free sanitized."""
+
+    @pytest.mark.parametrize("app", sorted(APPS))
+    @pytest.mark.parametrize("ngpus", [1, 2, 4])
+    def test_static(self, app, ngpus):
+        run = run_app(app, ngpus)
+        assert run.sanitizer is not None
+        assert run.sanitizer.loops_checked > 0
+        assert run.sanitizer.oracle.elements_compared > 0
+
+    @pytest.mark.parametrize("app", ["bfs", "jacobi", "kmeans"])
+    def test_adaptive(self, app):
+        run = run_app(app, 4, adaptive=True)
+        assert run.sanitizer.loops_checked > 0
+
+    def test_localaccess_apps_are_audited(self):
+        # BFS declares user localaccess windows on row and col: the
+        # auditor must actually have exercised them.
+        run = run_app("bfs", 2)
+        assert run.sanitizer.auditor.audited > 0
+
+
+class TestOptIn:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        _, run = run_source(STEP, step_args(), ngpus=2)
+        assert run.sanitizer is None
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _, run = run_source(STEP, step_args(), ngpus=2)
+        assert run.sanitizer is not None
+        assert run.sanitizer.loops_checked == 2
+
+    def test_env_var_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        _, run = run_source(STEP, step_args(), ngpus=2)
+        assert run.sanitizer is None
+
+    def test_explicit_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _, run = run_source(STEP, step_args(), ngpus=2, sanitize=False)
+        assert run.sanitizer is None
+
+
+class TestPureObserver:
+    """The sanitizer works purely in data space: identical results and
+    identical modeled time with it on or off."""
+
+    def test_results_and_time_unperturbed(self):
+        base_args, base = run_source(STEP, step_args(), ngpus=2)
+        san_args, san = run_source(STEP, step_args(), ngpus=2,
+                                   sanitize=True)
+        np.testing.assert_array_equal(san_args["y"], base_args["y"])
+        assert san.elapsed == base.elapsed
+        assert san.breakdown.total == base.breakdown.total
+
+    @pytest.mark.parametrize("app", ["md", "stencil", "heat2d"])
+    def test_apps_time_unperturbed(self, app):
+        base = run_app(app, 2, sanitize=False)
+        san = run_app(app, 2, sanitize=True)
+        assert base.sanitizer is None
+        assert san.elapsed == base.elapsed
+
+
+class TestLocalAccessAudit:
+    UNDER = r"""
+    void step(int n, float *x, float *y) {
+      #pragma acc data copyin(x[0:n]) copy(y[0:n])
+      {
+        #pragma acc parallel
+        {
+          #pragma acc localaccess x[stride(1, 0, 0)] y[stride(1, 0, 0)]
+          #pragma acc loop gang
+          for (int i = 0; i < n - 1; i++) {
+            y[i] = x[i] + x[i + 1];
+          }
+        }
+      }
+    }
+    """
+
+    def test_under_declared_window_reported(self):
+        with pytest.raises(CoherenceViolation) as exc:
+            run_source(self.UNDER, step_args(), ngpus=2, sanitize=True)
+        e = exc.value
+        assert e.kind == "localaccess-underdeclared"
+        assert e.loop == "step_L0"
+        assert e.array == "x"
+        # The offending per-iteration range: i reads [i, i+1] but
+        # declared only [i, i].
+        assert (e.lo, e.hi) == (0, 1)
+        assert "declared localaccess window" in e.detail
+
+    def test_correct_window_passes(self):
+        ok = self.UNDER.replace("x[stride(1, 0, 0)]", "x[stride(1, 0, 1)]")
+        args, run = run_source(ok, step_args(), ngpus=2, sanitize=True)
+        assert run.sanitizer.auditor.audited > 0
+        np.testing.assert_allclose(
+            args["y"][:-1],
+            np.arange(64, dtype=np.float32)[:-1] * 2 + 1)
+
+
+class TestFaultInjection:
+    """Seeded runtime bugs must be caught, with the right diagnosis."""
+
+    def test_unmarked_write_caught(self, monkeypatch):
+        monkeypatch.setattr(TwoLevelDirty, "mark",
+                            lambda self, idx: None)
+        with pytest.raises(CoherenceViolation) as exc:
+            run_source(STEP, step_args(), ngpus=2, sanitize=True)
+        e = exc.value
+        assert e.kind == "dirty-unmarked"
+        assert e.array == "y"
+        assert e.transfer == "replica-broadcast"
+        assert e.chunk is not None
+
+    def test_skipped_propagation_caught(self, monkeypatch):
+        monkeypatch.setattr(
+            comm_mod.CommunicationManager, "_propagate_replica",
+            lambda self, ma: None)
+        with pytest.raises(CoherenceViolation) as exc:
+            run_source(STEP, step_args(), ngpus=2, sanitize=True)
+        assert exc.value.kind == "dirty-uncleared"
+
+    def test_dataless_propagation_caught(self, monkeypatch):
+        # Clears the dirty bits but never ships the data: the replicas
+        # disagree after the communication phase.
+        def hollow(self, ma):
+            for t in ma.dirty:
+                if t is not None:
+                    t.clear()
+
+        monkeypatch.setattr(
+            comm_mod.CommunicationManager, "_propagate_replica", hollow)
+        with pytest.raises(CoherenceViolation) as exc:
+            run_source(STEP, step_args(), ngpus=2, sanitize=True)
+        assert exc.value.kind in ("replica-divergence", "result-divergence")
+        assert exc.value.array == "y"
+        assert exc.value.gpu is not None
+
+    def test_scalar_reduction_divergence_caught(self, monkeypatch):
+        from repro.runtime import reduction_rt
+
+        SUM = r"""
+        void total(int n, float *x, float *s) {
+          float acc = 0.0f;
+          #pragma acc parallel loop reduction(+:acc)
+          for (int i = 0; i < n; i++) { acc += x[i]; }
+          s[0] = acc;
+        }
+        """
+        orig = reduction_rt.finalize_scalar_reductions
+
+        def skewed(platform, results, ops, host_env):
+            out = orig(platform, results, ops, host_env)
+            for name in out:
+                host_env[name] = host_env[name] + 1.0
+            return out
+
+        monkeypatch.setattr(reduction_rt, "finalize_scalar_reductions",
+                            skewed)
+        monkeypatch.setattr("repro.runtime.context.finalize_scalar_reductions",
+                            skewed)
+        with pytest.raises(CoherenceViolation) as exc:
+            run_source(SUM, {"n": 32,
+                             "x": np.ones(32, np.float32),
+                             "s": np.zeros(1, np.float32)},
+                       ngpus=2, sanitize=True)
+        assert exc.value.kind == "scalar-divergence"
+        assert exc.value.array == "acc"
+
+
+class TestStaleReloadSkip:
+    def test_corrupted_buffer_behind_skip_caught(self):
+        p = Platform(DESKTOP_MACHINE, 2)
+        dl = DataLoader(p)
+        dl.sanitizer = Sanitizer(dl)
+        host = np.arange(32, dtype=np.float32)
+        dl.enter_region([("a", host, "copyin")])
+        cfg = {"a": ArrayConfig(name="a", ctype="float", read=True)}
+        tasks = [(0, 16), (16, 32)]
+        dl.ensure_for_loop(cfg, tasks, "i", {})
+        p.bus.sync()
+        # Corrupt one replica behind the loader's back; the next
+        # ensure() would skip the reload (same signature) and trust it.
+        dl.arrays["a"].buffers[0].data[3] = -99.0
+        with pytest.raises(CoherenceViolation) as exc:
+            dl.ensure_for_loop(cfg, tasks, "i", {})
+        assert exc.value.kind == "stale-reload-skip"
+        assert exc.value.array == "a"
+
+    def test_valid_skip_passes(self):
+        p = Platform(DESKTOP_MACHINE, 2)
+        dl = DataLoader(p)
+        dl.sanitizer = Sanitizer(dl)
+        host = np.arange(32, dtype=np.float32)
+        dl.enter_region([("a", host, "copyin")])
+        cfg = {"a": ArrayConfig(name="a", ctype="float", read=True)}
+        tasks = [(0, 16), (16, 32)]
+        dl.ensure_for_loop(cfg, tasks, "i", {})
+        p.bus.sync()
+        skipped0 = dl.reloads_skipped
+        dl.ensure_for_loop(cfg, tasks, "i", {})
+        assert dl.reloads_skipped == skipped0 + 1
+
+
+class TestViolationFormatting:
+    def test_message_carries_localization(self):
+        e = CoherenceViolation("result-divergence", loop="jacobi_L0",
+                              array="u", gpu=1, lo=128, hi=128, chunk=2,
+                              transfer="replica-broadcast",
+                              detail="expected 1.0, got 0.0")
+        msg = str(e)
+        for piece in ("[result-divergence]", "loop 'jacobi_L0'",
+                      "array 'u'", "gpu 1", "elements [128, 128]",
+                      "chunk 2", "via replica-broadcast",
+                      "expected 1.0, got 0.0"):
+            assert piece in msg
+
+    def test_minimal_violation(self):
+        e = CoherenceViolation("oracle-failure", detail="boom")
+        assert e.kind == "oracle-failure"
+        assert str(e) == "coherence violation [oracle-failure]: boom"
+
+
+class TestZeroLengthPrograms:
+    """Satellite regression: empty and single-element arrays flow
+    through partitioning, dirty tracking and the sanitizer."""
+
+    SRC = r"""
+    void k(int n, float *x, float *y) {
+      #pragma acc data copyin(x[0:n]) copy(y[0:n])
+      {
+        #pragma acc parallel loop
+        for (int i = 0; i < n; i++) { y[i] = x[i] * 2.0f; }
+      }
+    }
+    """
+
+    @pytest.mark.parametrize("n", [0, 1])
+    @pytest.mark.parametrize("ngpus", [1, 2, 4])
+    def test_tiny_arrays_sanitized(self, n, ngpus):
+        machine = "desktop" if ngpus <= 2 else hypothetical_node(ngpus)
+        args, run = run_source(self.SRC, {
+            "n": n, "x": np.arange(n, dtype=np.float32),
+            "y": np.zeros(n, dtype=np.float32)},
+            ngpus=ngpus, machine=machine, sanitize=True)
+        np.testing.assert_array_equal(
+            args["y"], np.arange(n, dtype=np.float32) * 2)
+        assert run.sanitizer.loops_checked == 1
