@@ -64,6 +64,10 @@ class ProgramRun:
     loop_stats: list[LoopRunStats] = field(default_factory=list)
     #: The coherence sanitizer, when the run was sanitized (else None).
     sanitizer: Any | None = None
+    #: The structured tracer, when the run was traced (else None).
+    #: Export with :func:`repro.trace.chrome_trace` /
+    #: :func:`repro.trace.jsonl`.
+    tracer: Any | None = None
 
     @property
     def elapsed(self) -> float:
@@ -143,6 +147,7 @@ class AccProgram:
         coalesce: bool = False,
         adaptive: bool = False,
         sanitize: bool | None = None,
+        trace: bool | None = None,
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
@@ -164,9 +169,21 @@ class AccProgram:
         unchanged; wall-clock cost is roughly one interpreter pass per
         loop.  Violations raise
         :class:`~repro.sanitizer.CoherenceViolation`.
+
+        ``trace=True`` (or ``REPRO_TRACE=1``) enables the structured
+        tracing subsystem (:mod:`repro.trace`): every kernel launch,
+        DMA transfer (tagged with its coherence mechanism), reload-skip
+        hit, balancer resplit and placement switch is recorded with its
+        modeled start/duration, and a metrics registry aggregates
+        per-loop/per-GPU counters.  The tracer is a pure observer:
+        modeled times and result arrays are bit-identical with tracing
+        on or off.  The recorded :class:`repro.trace.Tracer` is on
+        :attr:`ProgramRun.tracer`.
         """
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        if trace is None:
+            trace = os.environ.get("REPRO_TRACE", "") not in ("", "0")
         spec = MACHINES[machine] if isinstance(machine, str) else machine
         platform = Platform(spec, ngpus)
         loader = DataLoader(platform, chunk_bytes=chunk_bytes,
@@ -179,10 +196,16 @@ class AccProgram:
             sanitizer = Sanitizer(loader)
             for dev in platform.devices:
                 dev.memory.poison_on_free = True
+        tracer = None
+        if trace:
+            from .trace import Tracer
+
+            tracer = Tracer(ngpus=ngpus, machine=spec.name)
         executor = AccExecutor(platform, loader, engine=engine,
                                tree_reduction=tree_reduction,
                                overlap=overlap, coalesce=coalesce,
-                               adaptive=adaptive, sanitizer=sanitizer)
+                               adaptive=adaptive, sanitizer=sanitizer,
+                               tracer=tracer)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(
@@ -192,6 +215,7 @@ class AccProgram:
             breakdown=platform.profiler.snapshot(),
             loop_stats=list(executor.history),
             sanitizer=sanitizer,
+            tracer=tracer,
         )
 
 

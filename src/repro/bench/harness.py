@@ -109,6 +109,53 @@ def fig8(machine: str = "desktop", apps: dict[str, AppSpec] | None = None,
     return rows
 
 
+@dataclass
+class Fig8Reconciliation:
+    """Traced vs reported seconds for one (app, ngpus) Fig. 8 row."""
+
+    app: str
+    machine: str
+    ngpus: int
+    #: Per bucket: {"traced": s, "reported": s, "residual": s}.
+    buckets: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def max_residual(self) -> float:
+        return max((abs(b["residual"]) for b in self.buckets.values()),
+                   default=0.0)
+
+
+def fig8_reconciliation(
+    machine: str = "desktop", apps: dict[str, AppSpec] | None = None,
+    workload: str = "bench", overlap: bool = False,
+    coalesce: bool = False,
+) -> list[Fig8Reconciliation]:
+    """Fig. 8 accounting identity: traced per-category seconds vs the
+    profiler's reported breakdown, per app and GPU count.
+
+    The tracer accumulates exactly the deltas the virtual clock
+    accumulates, in the same order, so the residual of every
+    categorized bucket is identically zero; ``other`` is a profiler
+    subtraction and its residual is float rounding only.  The trace
+    tests pin both down.
+    """
+    from ..trace import reconcile
+
+    apps = apps or ALL_APPS
+    spec = MACHINES[machine]
+    rows: list[Fig8Reconciliation] = []
+    for name, app in apps.items():
+        for g in range(1, spec.gpu_count + 1):
+            r = run_version(app, "proposal", machine, ngpus=g,
+                            workload=workload, overlap=overlap,
+                            coalesce=coalesce, trace=True)
+            assert r.tracer is not None and r.breakdown is not None
+            rows.append(Fig8Reconciliation(
+                app=name, machine=machine, ngpus=g,
+                buckets=reconcile(r.tracer, r.breakdown)))
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # Fig. 9: device memory usage
 # ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..api import compile as compile_acc
 from ..apps.base import AppSpec
@@ -41,6 +42,9 @@ class VersionResult:
     mem_user: int = 0
     mem_system: int = 0
     kernel_executions: int = 0
+    #: The run's :class:`repro.trace.Tracer` when tracing was requested
+    #: (proposal/pgi versions only; else None).
+    tracer: Any | None = None
 
     @property
     def label(self) -> str:
@@ -68,6 +72,7 @@ def run_version(
     check: bool = False,
     overlap: bool = False,
     coalesce: bool = False,
+    trace: bool = False,
 ) -> VersionResult:
     """Run one version of one app and collect its measurements."""
     mname, spec = _resolve_machine(machine)
@@ -95,13 +100,15 @@ def run_version(
             options = CompileOptions()
         prog = compile_acc(app.source, options)
         run = prog.run(app.entry, args, machine=spec, ngpus=ngpus,
-                       overlap=overlap, coalesce=coalesce)
+                       overlap=overlap, coalesce=coalesce,
+                       trace=trace or None)
         result = VersionResult(
             app=app.name, version=version, machine=mname, ngpus=ngpus,
             elapsed=run.elapsed, breakdown=run.breakdown,
             mem_user=run.memory_high_water(PURPOSE_USER),
             mem_system=run.memory_high_water(PURPOSE_SYSTEM),
             kernel_executions=len(run.loop_stats),
+            tracer=run.tracer,
         )
     else:
         raise ValueError(f"unknown version {version!r}; pick from {VERSIONS}")

@@ -110,6 +110,9 @@ class AdaptiveBalancer:
     ) -> None:
         self.platform = platform
         self.loader = loader
+        #: Opt-in tracer: resplits and placement switches emit decision
+        #: events.  Set by the executor when tracing is enabled.
+        self.tracer: Any | None = None
         #: EMA smoothing for measured rates (1.0 = trust only the last).
         self.alpha = alpha
         #: Re-split only when some GPU's target weight moved by more
@@ -197,6 +200,15 @@ class AdaptiveBalancer:
                     if new != applied:
                         self._group_weights[st.group] = new
                         st.resplits += 1
+                        if self.tracer is not None:
+                            from ..trace.events import EVENT_RESPLIT
+
+                            self.tracer.emit(
+                                EVENT_RESPLIT, plan.name,
+                                start=self.platform.clock.now,
+                                weights=list(new), previous=list(applied))
+                            self.tracer.metrics.count(
+                                "resplits", 1, loop=plan.name)
             st.weights = self._group_weights.get(st.group, st.weights)
         st.calls += 1
         return split_tasks_weighted(lower, upper, st.weights, self.min_chunk)
@@ -365,7 +377,7 @@ class AdaptiveBalancer:
                     st.demoted = True
                     st.cooldown = self.cooldown
                     st.switches += 1
-                    self._note_switch(name)
+                    self._note_switch(name, "demote")
             else:
                 if (st.windowed_bytes_avg * self.promote_factor
                         >= st.replica_bytes_avg
@@ -373,15 +385,23 @@ class AdaptiveBalancer:
                     st.demoted = False
                     st.cooldown = self.cooldown
                     st.switches += 1
-                    self._note_switch(name)
+                    self._note_switch(name, "promote")
 
-    def _note_switch(self, name: str) -> None:
+    def _note_switch(self, name: str, direction: str) -> None:
         """Placement switch decided: the loader's reload-skip fast path
         for this array is stale until the next load/migration (the old
         layout no longer matches what the switched placement will
         request, even where the signature tuple still compares equal)."""
         if self.loader is not None:
             self.loader.note_placement_switch(name)
+        if self.tracer is not None:
+            from ..trace.events import EVENT_PLACEMENT_SWITCH
+
+            self.tracer.emit(EVENT_PLACEMENT_SWITCH, name,
+                             start=self.platform.clock.now, array=name,
+                             direction=direction)
+            self.tracer.metrics.count("placement_switches", 1, array=name,
+                                      direction=direction)
 
     def _ema(self, avg: float, value: float, st: ArrayPolicyState) -> float:
         if avg <= 0.0:

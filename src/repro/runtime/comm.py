@@ -37,11 +37,21 @@ results are bit-identical with overlap on or off.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from ..trace.events import (
+    MECH_HALO,
+    MECH_MISS_REPLAY,
+    MECH_REDUCTION_BCAST,
+    MECH_REDUCTION_MERGE,
+    MECH_REPLICA,
+    MECH_REPLICA_STAGED,
+    MECH_WINDOWED,
+)
 from ..translator import kernel_support as ks
 from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..vcuda.api import Platform
@@ -82,9 +92,13 @@ class CommunicationManager:
     def __init__(self, platform: Platform, loader: DataLoader,
                  tree_reduction: bool = True,
                  overlap: bool = False,
-                 coalesce: bool = False) -> None:
+                 coalesce: bool = False,
+                 tracer: Any | None = None) -> None:
         self.platform = platform
         self.loader = loader
+        #: Opt-in tracer: transfers issued inside a :meth:`_tag` block
+        #: carry the coherence mechanism and array that produced them.
+        self.tracer = tracer
         #: Merge reduction partials with a binary tree (log G rounds of
         #: concurrent pairwise transfers) rather than a flat gather to
         #: GPU 0 -- the inter-GPU level of the paper's hierarchical
@@ -175,6 +189,12 @@ class CommunicationManager:
                 return self.platform.bus.sync(CATEGORY_GPU_GPU)
             return 0.0
         return clock.elapsed_in(CATEGORY_GPU_GPU) - gg0
+
+    def _tag(self, mechanism: str, array: str | None):
+        """Mechanism/array annotation for bus transfers issued inside."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.tag(mechanism, array)
 
     # -- overlap bookkeeping -----------------------------------------------------
 
@@ -341,25 +361,28 @@ class CommunicationManager:
                 # so it only runs in overlap mode.  Logically it is
                 # inter-GPU traffic: the pieces carry a GPU-GPU
                 # category override.
-                d = bus.d2h(g, total, not_before=self._floor(g),
-                            category=CATEGORY_GPU_GPU)
-                self._note(d, g, None)
-                self.staged_broadcasts += 1
-                for t in targets:
-                    h = bus.h2d(t, total,
-                                not_before=max(d.end, self._floor(t)),
+                with self._tag(MECH_REPLICA_STAGED, ma.name):
+                    d = bus.d2h(g, total, not_before=self._floor(g),
                                 category=CATEGORY_GPU_GPU)
-                    self._note(h, None, t)
-                    self.bytes_replica += total
-                    self._account(ma.name, "replica", total, transfers=1)
+                    self._note(d, g, None)
+                    self.staged_broadcasts += 1
+                    for t in targets:
+                        h = bus.h2d(t, total,
+                                    not_before=max(d.end, self._floor(t)),
+                                    category=CATEGORY_GPU_GPU)
+                        self._note(h, None, t)
+                        self.bytes_replica += total
+                        self._account(ma.name, "replica", total, transfers=1)
             else:
-                for t in targets:
-                    nb = self._floor(g, t)
-                    for _, nbytes in runs:
-                        tr = bus.p2p(g, t, nbytes, not_before=nb)
-                        self._note(tr, g, t)
-                        self.bytes_replica += nbytes
-                        self._account(ma.name, "replica", nbytes, transfers=1)
+                with self._tag(MECH_REPLICA, ma.name):
+                    for t in targets:
+                        nb = self._floor(g, t)
+                        for _, nbytes in runs:
+                            tr = bus.p2p(g, t, nbytes, not_before=nb)
+                            self._note(tr, g, t)
+                            self.bytes_replica += nbytes
+                            self._account(ma.name, "replica", nbytes,
+                                          transfers=1)
         for g in range(ngpus):
             if ma.dirty[g] is not None:
                 ma.dirty[g].clear()
@@ -411,7 +434,8 @@ class CommunicationManager:
                     continue
                 ma.buffers[t].data[idx[sel] - tb.lo] = vals[sel]
                 nbytes = n * ma.itemsize
-                tr = bus.p2p(g, t, nbytes, not_before=self._floor(g, t))
+                with self._tag(MECH_WINDOWED, ma.name):
+                    tr = bus.p2p(g, t, nbytes, not_before=self._floor(g, t))
                 self._note(tr, g, t)
                 self.bytes_windowed += nbytes
                 self._account(ma.name, "windowed", nbytes, transfers=1)
@@ -447,8 +471,9 @@ class CommunicationManager:
                     per_target_bytes[t] += int(sel.sum()) * RECORD_BYTES
             for t, nbytes in enumerate(per_target_bytes):
                 if nbytes:
-                    tr = self.platform.bus.p2p(g, t, nbytes,
-                                               not_before=self._floor(g, t))
+                    with self._tag(MECH_MISS_REPLAY, ma.name):
+                        tr = self.platform.bus.p2p(
+                            g, t, nbytes, not_before=self._floor(g, t))
                     self._note(tr, g, t)
                     self.bytes_miss += nbytes
                     self._account(ma.name, "miss", nbytes, transfers=1)
@@ -478,8 +503,9 @@ class CommunicationManager:
                 np.copyto(ma.buffers[t].data[dst_lo:dst_lo + ov.size],
                           src.data[src_lo:src_lo + ov.size])
                 nbytes = ov.size * ma.itemsize
-                tr = self.platform.bus.p2p(g, t, nbytes,
-                                           not_before=self._floor(g, t))
+                with self._tag(MECH_HALO, ma.name):
+                    tr = self.platform.bus.p2p(g, t, nbytes,
+                                               not_before=self._floor(g, t))
                 self._note(tr, g, t)
                 self.bytes_halo += nbytes
                 self._account(ma.name, "halo", nbytes, transfers=1)
@@ -507,7 +533,8 @@ class CommunicationManager:
                     for k in range(0, len(alive) - stride, 2 * stride):
                         src = alive[k + stride]
                         dst = alive[k]
-                        tr = self.platform.bus.p2p(src, dst, nbytes)
+                        with self._tag(MECH_REDUCTION_MERGE, ma.name):
+                            tr = self.platform.bus.p2p(src, dst, nbytes)
                         self._note(tr, src, dst)
                         self.bytes_reduction += nbytes
                         np.copyto(
@@ -518,7 +545,8 @@ class CommunicationManager:
             else:
                 root = alive[0]
                 for g in alive[1:]:
-                    tr = self.platform.bus.p2p(g, root, nbytes)
+                    with self._tag(MECH_REDUCTION_MERGE, ma.name):
+                        tr = self.platform.bus.p2p(g, root, nbytes)
                     self._note(tr, g, root)
                     self.bytes_reduction += nbytes
                     np.copyto(
@@ -545,13 +573,15 @@ class CommunicationManager:
                     stride *= 2
                 for level in reversed(levels):
                     for src, dst in level:
-                        tr = self.platform.bus.p2p(src, dst, nbytes)
+                        with self._tag(MECH_REDUCTION_BCAST, ma.name):
+                            tr = self.platform.bus.p2p(src, dst, nbytes)
                         self._note(tr, src, dst)
                         self.bytes_reduction += nbytes
             else:
                 root = alive[0]
                 for g in alive[1:]:
-                    tr = self.platform.bus.p2p(root, g, nbytes)
+                    with self._tag(MECH_REDUCTION_BCAST, ma.name):
+                        tr = self.platform.bus.p2p(root, g, nbytes)
                     self._note(tr, root, g)
                     self.bytes_reduction += nbytes
         ma.device_ahead = False

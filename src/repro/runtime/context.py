@@ -76,6 +76,7 @@ class AccExecutor:
         adaptive: bool = False,
         balancer: AdaptiveBalancer | None = None,
         sanitizer: Any | None = None,
+        tracer: Any | None = None,
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
@@ -87,9 +88,17 @@ class AccExecutor:
         if sanitizer is not None:
             self.loader.sanitizer = sanitizer
             sanitizer.engine = engine
+        #: Opt-in structured tracer (:mod:`repro.trace`), a pure
+        #: observer like the sanitizer.
+        self.tracer = tracer
+        if tracer is not None:
+            self.loader.tracer = tracer
+            platform.clock.observer = tracer.on_clock
+            platform.bus.observer = tracer.on_transfer
         self.comm = CommunicationManager(platform, self.loader,
                                          tree_reduction=tree_reduction,
-                                         overlap=overlap, coalesce=coalesce)
+                                         overlap=overlap, coalesce=coalesce,
+                                         tracer=tracer)
         #: Asynchronous communication pipelining: kernels of the next
         #: loop gate on per-array comm completion instead of a global
         #: barrier, and waits are attributed by the platform timeline.
@@ -100,6 +109,8 @@ class AccExecutor:
         self.balancer = balancer
         if adaptive and self.balancer is None:
             self.balancer = AdaptiveBalancer(platform, self.loader)
+        if self.tracer is not None and self.balancer is not None:
+            self.balancer.tracer = self.tracer
         self.history: list[LoopRunStats] = []
         if overlap:
             platform.enable_overlap_accounting()
@@ -117,6 +128,10 @@ class AccExecutor:
         from ..runtime.partition import split_tasks
 
         stats = LoopRunStats(kernel_name=plan.name)
+        if self.tracer is not None:
+            # Before planning, so balancer decisions (resplits,
+            # placement switches) attribute to this loop.
+            self.tracer.enter_loop(plan.name)
         if self.adaptive and self.balancer is not None:
             tasks = self.balancer.plan_tasks(plan, lower, upper)
             configs = self.balancer.effective_configs(plan)
@@ -124,6 +139,8 @@ class AccExecutor:
             tasks = split_tasks(lower, upper, self.platform.ngpus)
             configs = plan.config.arrays
         stats.tasks = tasks
+        if self.tracer is not None:
+            self.tracer.loop_started(self.platform.clock.now, tasks)
 
         scalars = {}
         for n in plan.scalar_names:
@@ -163,6 +180,7 @@ class AccExecutor:
                 continue
             work = plan.cost.total(n, ctx.dyn_counts)
             dev = self.platform.devices[g]
+            n_recs = len(dev.launches)
             if self.overlap:
                 seconds, launches = self._launch_async(
                     plan, g, t0, t1, work, dev, configs)
@@ -177,6 +195,9 @@ class AccExecutor:
             per_gpu_seconds[g] = seconds
             profiler.record_kernel(plan.name, g, seconds,
                                    launches=launches, iterations=n)
+            if self.tracer is not None:
+                for rec in dev.launches[n_recs:]:
+                    self.tracer.kernel_event(rec, iterations=n)
         if not self.overlap:
             stats.kernel_seconds = self.platform.sync_devices()
         stats.dyn_counts = [dict(c.dyn_counts) for c in contexts]
@@ -207,6 +228,8 @@ class AccExecutor:
         if self.adaptive and self.balancer is not None:
             self.balancer.observe(plan, tasks, per_gpu_seconds,
                                   self.comm.last_call_bytes)
+        if self.tracer is not None:
+            self.tracer.end_loop(self.platform.clock.now)
         self.history.append(stats)
         return stats
 
@@ -330,7 +353,8 @@ class AccExecutor:
     def _make_context(self, g: int, t0: int, t1: int,
                       plan: KernelPlanLike, scalars: dict[str, Any],
                       configs: dict | None = None) -> KernelContext:
-        ctx = KernelContext(device_index=g, i0=t0, i1=t1, scalars=dict(scalars))
+        ctx = KernelContext(device_index=g, i0=t0, i1=t1,
+                            scalars=dict(scalars), trace=self.tracer)
         arrays = configs if configs is not None else plan.config.arrays
         for name, cfg in arrays.items():
             ma = self.loader._get(name)

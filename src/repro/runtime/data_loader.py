@@ -18,11 +18,22 @@ parallel loop runs many times over unchanged windows.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from ..trace.events import (
+    EVENT_LOAD,
+    EVENT_MIGRATION,
+    EVENT_RELOAD_SKIP,
+    EVENT_WRITEBACK,
+    MECH_LOAD,
+    MECH_MIGRATION,
+    MECH_UPDATE,
+    MECH_WRITEBACK,
+)
 from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..translator.kernel_support import red_identity
 from ..vcuda.api import Platform
@@ -135,6 +146,10 @@ class DataLoader:
         #: Opt-in coherence sanitizer; when set, every reload-skip is
         #: verified against the coherent global image.
         self.sanitizer = None
+        #: Opt-in tracer; when set, loads / migrations / writebacks /
+        #: reload-skips emit decision events and the transfers they
+        #: issue carry mechanism tags.
+        self.tracer = None
         #: Loader telemetry (ablation benchmarks read these).
         self.loads = 0
         self.reloads_skipped = 0
@@ -205,15 +220,22 @@ class DataLoader:
             np.copyto(ma.staging, ma.host)
             if ma.valid and ma.placement is not None:
                 # Eagerly refresh the resident blocks.
-                for g, buf in enumerate(ma.buffers):
-                    if buf is not None and ma.blocks[g].size:
-                        blk = ma.blocks[g]
-                        np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
-                        self.platform.bus.h2d(g, blk.size * ma.itemsize)
+                with self._tag(MECH_UPDATE, name):
+                    for g, buf in enumerate(ma.buffers):
+                        if buf is not None and ma.blocks[g].size:
+                            blk = ma.blocks[g]
+                            np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
+                            self.platform.bus.h2d(g, blk.size * ma.itemsize)
             else:
                 ma.valid = False
         if self.platform.bus.pending_count():
             self.platform.bus.sync_category(CATEGORY_CPU_GPU)
+
+    def _tag(self, mechanism: str, array: str | None):
+        """Mechanism/array annotation for bus transfers issued inside."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.tag(mechanism, array)
 
     def _get(self, name: str) -> ManagedArray:
         ma = self.arrays.get(name)
@@ -284,12 +306,26 @@ class DataLoader:
                 self.reloads_skipped += 1
                 if self.sanitizer is not None:
                     self.sanitizer.check_reload_skip(ma)
+                if self.tracer is not None:
+                    self.tracer.emit(EVENT_RELOAD_SKIP, name,
+                                     start=self.platform.clock.now,
+                                     array=name)
+                    self.tracer.metrics.count(
+                        "reload_skip_hits", 1, array=name,
+                        loop=self.tracer.current_loop)
             elif (self.migrate_deltas and ma.valid and identity is None
                     and ma.signature is not None and not ma.signature[2]
                     and self._migrate(ma, placement, blocks, signature)):
-                pass
+                if self.tracer is not None:
+                    self.tracer.metrics.count(
+                        "reload_skip_misses", 1, array=name,
+                        loop=self.tracer.current_loop)
             else:
                 self._load(ma, placement, blocks, signature, identity)
+                if self.tracer is not None:
+                    self.tracer.metrics.count(
+                        "reload_skip_misses", 1, array=name,
+                        loop=self.tracer.current_loop)
             # (Re)wire write-side system structures for this loop.
             self._prepare_write_side(ma, cfg)
 
@@ -304,23 +340,26 @@ class DataLoader:
             self.platform.bus.sync_category(CATEGORY_CPU_GPU)
         self._release_buffers(ma)
         ngpus = self.platform.ngpus
-        for g in range(ngpus):
-            blk = blocks[g]
-            if blk.size == 0:
-                ma.buffers[g] = None
-                continue
-            buf = self.platform.malloc(
-                g, ma.name, blk.size, ma.host.dtype,
-                purpose=PURPOSE_USER, base=blk.lo)
-            if identity is not None:
-                # Reduction destinations start at the operator identity on
-                # the device: no H2D transfer at all.
-                buf.data.fill(identity)
-            else:
-                np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
-                if ma.transfer_in or ma.materialized:
-                    self.platform.bus.h2d(g, blk.size * ma.itemsize)
-            ma.buffers[g] = buf
+        loaded_bytes = 0
+        with self._tag(MECH_LOAD, ma.name):
+            for g in range(ngpus):
+                blk = blocks[g]
+                if blk.size == 0:
+                    ma.buffers[g] = None
+                    continue
+                buf = self.platform.malloc(
+                    g, ma.name, blk.size, ma.host.dtype,
+                    purpose=PURPOSE_USER, base=blk.lo)
+                if identity is not None:
+                    # Reduction destinations start at the operator
+                    # identity on the device: no H2D transfer at all.
+                    buf.data.fill(identity)
+                else:
+                    np.copyto(buf.data, ma.staging[blk.lo:blk.hi])
+                    if ma.transfer_in or ma.materialized:
+                        self.platform.bus.h2d(g, blk.size * ma.itemsize)
+                        loaded_bytes += blk.size * ma.itemsize
+                ma.buffers[g] = buf
         ma.blocks = list(blocks)
         ma.primary = primary_blocks(blocks, ma.length)
         ma.placement = placement
@@ -328,6 +367,12 @@ class DataLoader:
         ma.valid = True
         ma.skip_invalidated = False
         self.loads += 1
+        if self.tracer is not None:
+            self.tracer.emit(EVENT_LOAD, ma.name,
+                             start=self.platform.clock.now, array=ma.name,
+                             nbytes=loaded_bytes,
+                             placement=placement.name
+                             if placement is not None else None)
 
     def _migrate(self, ma: ManagedArray, placement: Placement,
                  blocks: list[Block], signature: tuple) -> bool:
@@ -404,17 +449,19 @@ class DataLoader:
                             src[seg.lo - old_blocks[t].lo:
                                 seg.hi - old_blocks[t].lo])
                         nbytes = seg.size * ma.itemsize
-                        tr = self.platform.bus.p2p(t, g, nbytes)
                         # Load-phase traffic: attribute to CPU-GPU time
                         # so the per-loop load sync waits for it.
-                        tr.category_override = CATEGORY_CPU_GPU
+                        with self._tag(MECH_MIGRATION, ma.name):
+                            self.platform.bus.p2p(
+                                t, g, nbytes, category=CATEGORY_CPU_GPU)
                         self.bytes_migrated_p2p += nbytes
                         covered.append(seg)
             # 3. Host fills for the rest (already copied from staging).
             if ma.transfer_in or ma.materialized:
                 for seg in _subtract(blk, covered):
                     nbytes = seg.size * ma.itemsize
-                    self.platform.bus.h2d(g, nbytes)
+                    with self._tag(MECH_MIGRATION, ma.name):
+                        self.platform.bus.h2d(g, nbytes)
                     self.bytes_migrated_h2d += nbytes
             new_buffers[g] = buf
         for g, buf in enumerate(old_buffers):
@@ -428,6 +475,11 @@ class DataLoader:
         ma.valid = True
         ma.skip_invalidated = False
         self.migrations += 1
+        if self.tracer is not None:
+            self.tracer.emit(EVENT_MIGRATION, ma.name,
+                             start=self.platform.clock.now, array=ma.name,
+                             placement=placement.name
+                             if placement is not None else None)
         return True
 
     def _prepare_write_side(self, ma: ManagedArray, cfg: ArrayConfig) -> None:
@@ -447,6 +499,7 @@ class DataLoader:
                     ma.miss[g] = WriteMissBuffer(
                         ma.name, capacity,
                         memory=self.platform.devices[g].memory)
+                    ma.miss[g].tracer = self.tracer
         elif cfg.write_handling == WriteHandling.REDUCTION:
             ma.reduction_identity = red_identity(cfg.reduction_op or "+")
 
@@ -459,31 +512,35 @@ class DataLoader:
         if not ma.valid or ma.placement is None:
             ma.device_ahead = False
             return
-        if ma.placement == Placement.REPLICA:
-            # Replicas are coherent after the communication step; GPU 0
-            # (or the first resident copy) is authoritative.
-            for g, buf in enumerate(ma.buffers):
-                if buf is not None:
-                    blk = ma.blocks[g]
-                    np.copyto(ma.host[blk.lo:blk.hi], buf.data)
-                    np.copyto(ma.staging[blk.lo:blk.hi], buf.data)
-                    self.platform.bus.d2h(g, blk.size * ma.itemsize)
-                    break
-        else:
-            for g, buf in enumerate(ma.buffers):
-                if buf is None:
-                    continue
-                prim = ma.primary[g].intersect(ma.blocks[g])
-                if prim.size == 0:
-                    continue
-                lo = prim.lo - ma.blocks[g].lo
-                np.copyto(ma.host[prim.lo:prim.hi],
-                          buf.data[lo:lo + prim.size])
-                np.copyto(ma.staging[prim.lo:prim.hi],
-                          buf.data[lo:lo + prim.size])
-                self.platform.bus.d2h(g, prim.size * ma.itemsize)
+        with self._tag(MECH_WRITEBACK, ma.name):
+            if ma.placement == Placement.REPLICA:
+                # Replicas are coherent after the communication step;
+                # GPU 0 (or the first resident copy) is authoritative.
+                for g, buf in enumerate(ma.buffers):
+                    if buf is not None:
+                        blk = ma.blocks[g]
+                        np.copyto(ma.host[blk.lo:blk.hi], buf.data)
+                        np.copyto(ma.staging[blk.lo:blk.hi], buf.data)
+                        self.platform.bus.d2h(g, blk.size * ma.itemsize)
+                        break
+            else:
+                for g, buf in enumerate(ma.buffers):
+                    if buf is None:
+                        continue
+                    prim = ma.primary[g].intersect(ma.blocks[g])
+                    if prim.size == 0:
+                        continue
+                    lo = prim.lo - ma.blocks[g].lo
+                    np.copyto(ma.host[prim.lo:prim.hi],
+                              buf.data[lo:lo + prim.size])
+                    np.copyto(ma.staging[prim.lo:prim.hi],
+                              buf.data[lo:lo + prim.size])
+                    self.platform.bus.d2h(g, prim.size * ma.itemsize)
         ma.device_ahead = False
         ma.materialized = True
+        if self.tracer is not None:
+            self.tracer.emit(EVENT_WRITEBACK, ma.name,
+                             start=self.platform.clock.now, array=ma.name)
 
     def _release_buffers(self, ma: ManagedArray) -> None:
         for g, buf in enumerate(ma.buffers):

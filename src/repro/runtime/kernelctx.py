@@ -58,6 +58,10 @@ class KernelContext:
     #: ``access_hook(name, iteration, index, kind)`` for every array
     #: access (kind 'r' or 'w').  None (the default) costs one branch.
     access_hook: Any = None
+    #: Tracing instrumentation (:class:`repro.trace.Tracer`): write-miss
+    #: and dirty-mark volumes are counted per (loop, GPU, array).  None
+    #: (the default) costs one branch per instrumentation call.
+    trace: Any = None
 
     #: Modules exposed to generated code.
     np = np
@@ -73,7 +77,10 @@ class KernelContext:
                 return
             raise RuntimeError(
                 f"kernel marked {name!r} dirty but no tracker was configured")
-        tracker.mark(np.asarray(global_indices, dtype=np.int64))
+        gi = np.asarray(global_indices, dtype=np.int64)
+        tracker.mark(gi)
+        if self.trace is not None:
+            self.trace.count_dirty(name, self.device_index, int(gi.size))
 
     def write_checked(self, name: str, global_indices: np.ndarray,
                       values: Any, op: str = "") -> None:
@@ -109,6 +116,9 @@ class KernelContext:
                 raise RuntimeError(
                     f"write miss on {name!r} but no miss buffer configured")
             buf.record(gi[missed], np.asarray(miss_vals), op)
+            if self.trace is not None:
+                self.trace.count_miss(name, self.device_index,
+                                      int(missed.sum()))
 
     def reduce_to_array(self, name: str, global_indices: np.ndarray,
                         values: Any, op: str) -> None:

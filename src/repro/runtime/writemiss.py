@@ -13,6 +13,8 @@ steps, each step charged as additional system memory.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..vcuda.memory import DeviceMemory, PURPOSE_SYSTEM
@@ -39,6 +41,9 @@ class WriteMissBuffer:
             raise ValueError("miss buffer capacity must be positive")
         self.name = name
         self.capacity = capacity
+        #: Optional tracer (pure observer); growth steps are worth
+        #: surfacing because each one charges extra system memory.
+        self.tracer: Any | None = None
         #: Up-front allocation size; :meth:`reset` shrinks back to it.
         self.base_capacity = capacity
         self.allow_growth = allow_growth
@@ -82,6 +87,9 @@ class WriteMissBuffer:
                 f"miss:{self.name}:+{len(self._bufs)}", step * RECORD_BYTES,
                 np.uint8, purpose=PURPOSE_SYSTEM))
         self.capacity += step
+        if self.tracer is not None:
+            self.tracer.metrics.count("miss_buffer_growths", 1,
+                                      array=self.name)
 
     def drain(self) -> list[tuple[np.ndarray, np.ndarray, str]]:
         """Take all records, grouped by the op they were written with."""

@@ -1,0 +1,127 @@
+"""Typed trace events and attribution spans.
+
+Two event families cover everything the tracer records:
+
+* :class:`TraceEvent` -- one *scheduled operation* in virtual time: a
+  kernel launch, a DMA transfer (tagged with the coherence mechanism
+  that issued it), or an instantaneous runtime decision (reload-skip
+  hit, balancer resplit, placement switch).  These carry modeled
+  start/duration and render as the lanes of a Chrome/Perfetto trace.
+
+* :class:`AttributionSpan` -- one *clock attribution*: every time the
+  virtual clock advances (or charges hidden time), the interval and its
+  Fig. 8 category are recorded.  Summing spans per category reproduces
+  the profiler's :class:`~repro.vcuda.profiler.TimeBreakdown` exactly
+  -- the reconciliation identity the accounting tests pin down.
+
+Event ``kind`` values are the module-level ``EVENT_*`` constants;
+transfer events additionally carry a ``mechanism`` (``MECH_*``) naming
+the coherence machinery that issued them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# -- scheduled-operation kinds ----------------------------------------------
+
+EVENT_KERNEL = "kernel"
+EVENT_H2D = "h2d"
+EVENT_D2H = "d2h"
+EVENT_P2P = "p2p"
+#: Instantaneous runtime decisions (zero duration, Perfetto "instant").
+EVENT_LOOP_BEGIN = "loop_begin"
+EVENT_LOOP_END = "loop_end"
+EVENT_RELOAD_SKIP = "reload_skip"
+EVENT_LOAD = "load"
+EVENT_MIGRATION = "migration"
+EVENT_WRITEBACK = "writeback"
+EVENT_RESPLIT = "resplit"
+EVENT_PLACEMENT_SWITCH = "placement_switch"
+
+#: Kinds that occupy time on a lane (Chrome "complete" events).
+SPAN_KINDS = (EVENT_KERNEL, EVENT_H2D, EVENT_D2H, EVENT_P2P)
+#: Zero-duration marker kinds (Chrome "instant" events).
+INSTANT_KINDS = (EVENT_LOOP_BEGIN, EVENT_LOOP_END, EVENT_RELOAD_SKIP,
+                 EVENT_LOAD, EVENT_MIGRATION, EVENT_WRITEBACK,
+                 EVENT_RESPLIT, EVENT_PLACEMENT_SWITCH)
+
+# -- transfer mechanisms ----------------------------------------------------
+
+MECH_REPLICA = "replica_broadcast"
+MECH_REPLICA_STAGED = "replica_broadcast_staged"
+MECH_WINDOWED = "windowed_propagation"
+MECH_HALO = "halo_exchange"
+MECH_MISS_REPLAY = "write_miss_replay"
+MECH_REDUCTION_MERGE = "reduction_merge"
+MECH_REDUCTION_BCAST = "reduction_broadcast"
+MECH_LOAD = "load"
+MECH_MIGRATION = "migration"
+MECH_WRITEBACK = "writeback"
+MECH_UPDATE = "update_directive"
+
+ALL_MECHANISMS = (
+    MECH_REPLICA, MECH_REPLICA_STAGED, MECH_WINDOWED, MECH_HALO,
+    MECH_MISS_REPLAY, MECH_REDUCTION_MERGE, MECH_REDUCTION_BCAST,
+    MECH_LOAD, MECH_MIGRATION, MECH_WRITEBACK, MECH_UPDATE,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled operation or runtime decision in virtual time."""
+
+    #: Monotone sequence number: total order of emission (= the order
+    #: the runtime made its decisions, independent of virtual time).
+    seq: int
+    kind: str
+    label: str
+    #: Modeled start (virtual seconds) and duration.
+    start: float
+    duration: float = 0.0
+    #: Parallel-loop id active when the event was emitted (None between
+    #: loops: data-region entry/exit traffic, end-of-program drains).
+    loop: str | None = None
+    #: Per-loop call number of ``loop`` at emission time.
+    loop_call: int | None = None
+    #: Primary GPU (kernel launches: the launching GPU).
+    gpu: int | None = None
+    #: Transfer endpoints (None = host side).
+    src_gpu: int | None = None
+    dst_gpu: int | None = None
+    array: str | None = None
+    #: Coherence mechanism that issued a transfer (``MECH_*``).
+    mechanism: str | None = None
+    nbytes: int = 0
+    #: Free-form extras (iteration counts, weights, directions ...).
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class AttributionSpan:
+    """One clock attribution interval (Fig. 8 accounting unit)."""
+
+    seq: int
+    #: Fig. 8 bucket label (``CATEGORY_*`` from :mod:`repro.vcuda.bus`)
+    #: or None for uncategorized advances (the profiler's ``other``).
+    category: str | None
+    start: float
+    #: Exactly the delta the clock accumulated for this advance/charge;
+    #: summing these per category is bit-identical to the clock's own
+    #: accumulators.
+    seconds: float
+    #: True for :meth:`~repro.vcuda.clock.VirtualClock.charge` spans:
+    #: hidden time attributed without moving the clock (the
+    #: ``GPU-GPU (hidden)`` bucket).
+    charged: bool = False
+    loop: str | None = None
+    loop_call: int | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start if self.charged else self.start + self.seconds

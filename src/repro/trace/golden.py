@@ -1,0 +1,132 @@
+"""Golden-trace normalization and invariant checking.
+
+A raw trace is full of modeled timestamps that legitimately change when
+cost models or schedulers improve.  The golden tests therefore compare
+a *normalized* summary -- counts, orderings and byte totals that only
+change when the runtime's decision structure changes:
+
+* events per kind, kernel launches per (loop, GPU), loop call counts;
+* transfer bytes and transfer counts per physical kind and per
+  coherence mechanism;
+* the per-loop sequence of kernel labels (order of first appearance).
+
+:func:`normalize` renders a tracer into that JSON-able summary;
+:func:`check_invariants` asserts the structural well-formedness every
+trace must satisfy regardless of its content (bracketing, monotone
+sequence numbers, span/instant discipline); :func:`diff` compares a
+summary against a recorded golden and reports human-readable
+mismatches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .events import EVENT_KERNEL, EVENT_LOOP_BEGIN, EVENT_LOOP_END, SPAN_KINDS
+from .tracer import Tracer
+
+
+class TraceInvariantError(AssertionError):
+    pass
+
+
+def normalize(tracer: Tracer) -> dict[str, Any]:
+    """Timing-independent summary of one traced run."""
+    event_counts: dict[str, int] = {}
+    transfer_bytes: dict[str, int] = {}
+    transfer_counts: dict[str, int] = {}
+    mechanism_bytes: dict[str, int] = {}
+    loops: dict[str, dict[str, Any]] = {}
+    kernel_order: list[str] = []
+    for ev in tracer.events:
+        event_counts[ev.kind] = event_counts.get(ev.kind, 0) + 1
+        if ev.kind == EVENT_LOOP_BEGIN:
+            row = loops.setdefault(ev.label, {"calls": 0,
+                                              "kernel_launches": 0,
+                                              "gpus": set()})
+            row["calls"] += 1
+        elif ev.kind == EVENT_KERNEL:
+            base = ev.label
+            for suffix in ("[int]", "[bnd]"):
+                base = base.removesuffix(suffix)
+            if base not in kernel_order:
+                kernel_order.append(base)
+            if ev.loop is not None and ev.loop in loops:
+                loops[ev.loop]["kernel_launches"] += 1
+                loops[ev.loop]["gpus"].add(ev.gpu)
+        elif ev.kind in SPAN_KINDS:  # h2d / d2h / p2p
+            transfer_bytes[ev.kind] = (transfer_bytes.get(ev.kind, 0)
+                                       + ev.nbytes)
+            transfer_counts[ev.kind] = transfer_counts.get(ev.kind, 0) + 1
+            if ev.mechanism is not None:
+                mechanism_bytes[ev.mechanism] = (
+                    mechanism_bytes.get(ev.mechanism, 0) + ev.nbytes)
+    for row in loops.values():
+        row["gpus"] = sorted(g for g in row["gpus"] if g is not None)
+    return {
+        "ngpus": tracer.ngpus,
+        "event_counts": dict(sorted(event_counts.items())),
+        "transfer_bytes": dict(sorted(transfer_bytes.items())),
+        "transfer_counts": dict(sorted(transfer_counts.items())),
+        "mechanism_bytes": dict(sorted(mechanism_bytes.items())),
+        "loops": {k: loops[k] for k in sorted(loops)},
+        "kernel_order": kernel_order,
+    }
+
+
+def check_invariants(tracer: Tracer) -> None:
+    """Structural well-formedness every trace must satisfy."""
+    open_loop: str | None = None
+    last_seq = 0
+    for ev in tracer.events:
+        if ev.seq <= last_seq:
+            raise TraceInvariantError(
+                f"event seq not strictly increasing at {ev!r}")
+        last_seq = ev.seq
+        if ev.kind == EVENT_LOOP_BEGIN:
+            if open_loop is not None:
+                raise TraceInvariantError(
+                    f"loop_begin {ev.label!r} inside open loop "
+                    f"{open_loop!r}")
+            open_loop = ev.label
+        elif ev.kind == EVENT_LOOP_END:
+            if open_loop != ev.label:
+                raise TraceInvariantError(
+                    f"loop_end {ev.label!r} does not close {open_loop!r}")
+            open_loop = None
+        elif ev.kind == EVENT_KERNEL:
+            if ev.loop is None:
+                raise TraceInvariantError(
+                    f"kernel {ev.label!r} emitted outside any loop")
+        if ev.kind in SPAN_KINDS:
+            if ev.duration < 0 or ev.nbytes < 0:
+                raise TraceInvariantError(f"negative span field on {ev!r}")
+        elif ev.duration != 0:
+            raise TraceInvariantError(
+                f"instant {ev.kind!r} with nonzero duration")
+    if open_loop is not None:
+        raise TraceInvariantError(f"unclosed loop {open_loop!r} at trace end")
+    for sp in tracer.spans:
+        if sp.seconds < 0:
+            raise TraceInvariantError(f"negative attribution span {sp!r}")
+
+
+def diff(actual: dict[str, Any], golden: dict[str, Any]) -> list[str]:
+    """Human-readable mismatches between a summary and its golden."""
+    problems: list[str] = []
+
+    def walk(a: Any, g: Any, path: str) -> None:
+        if isinstance(g, dict) and isinstance(a, dict):
+            for k in sorted(set(a) | set(g)):
+                if k not in a:
+                    problems.append(f"{path}.{k}: missing (golden has "
+                                    f"{g[k]!r})")
+                elif k not in g:
+                    problems.append(f"{path}.{k}: unexpected {a[k]!r}")
+                else:
+                    walk(a[k], g[k], f"{path}.{k}")
+        elif a != g:
+            problems.append(f"{path}: {a!r} != golden {g!r}")
+
+    walk(actual, golden, "trace")
+    return problems

@@ -1,0 +1,104 @@
+"""Label-keyed counters and histograms for the tracing subsystem.
+
+A deliberately small metrics registry: counters accumulate integer or
+float totals, histograms record individual observations, and both are
+keyed by a metric name plus a sorted label tuple (loop, gpu, array ...)
+so aggregation per loop and per GPU falls out of the key structure.
+Everything is exact bookkeeping in plain Python -- no reservoirs, no
+decay -- because runs are deterministic and bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LabelKey = tuple[tuple[str, object], ...]
+
+
+def _key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Histogram:
+    """Exact distribution of one metric under one label set."""
+
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+
+class MetricsRegistry:
+    """Counters + histograms keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, dict[LabelKey, float]] = {}
+        self.histograms: dict[str, dict[LabelKey, Histogram]] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        by_label = self.counters.setdefault(name, {})
+        k = _key(labels)
+        by_label[k] = by_label.get(k, 0) + value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        by_label = self.histograms.setdefault(name, {})
+        k = _key(labels)
+        h = by_label.get(k)
+        if h is None:
+            h = by_label[k] = Histogram()
+        h.observe(value)
+
+    # -- reading ------------------------------------------------------------
+
+    def counter_total(self, name: str, **labels: object) -> float:
+        """Sum of ``name`` over every label set matching ``labels``.
+
+        A label given here must match exactly; labels not given are
+        summed over -- ``counter_total("bytes", gpu=0)`` aggregates
+        across loops and arrays on GPU 0.
+        """
+        want = _key(labels)
+        total = 0.0
+        for k, v in self.counters.get(name, {}).items():
+            kd = dict(k)
+            if all(kd.get(lk) == lv for lk, lv in want):
+                total += v
+        return total
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The exact histogram of one fully-specified label set."""
+        return self.histograms.get(name, {}).get(_key(labels), Histogram())
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly dump: {metric: {"label=value|...": total}}."""
+        out: dict[str, dict[str, float]] = {}
+        for name, by_label in sorted(self.counters.items()):
+            out[name] = {
+                "|".join(f"{k}={v}" for k, v in key) or "(total)": val
+                for key, val in sorted(by_label.items(),
+                                       key=lambda kv: repr(kv[0]))
+            }
+        return out

@@ -1,0 +1,239 @@
+"""The event collector: a pure observer of one program run.
+
+One :class:`Tracer` is created per traced run (``trace=True`` /
+``REPRO_TRACE=1``) and threaded through the executor, the data loader,
+the communication manager and the adaptive balancer, exactly like the
+coherence sanitizer.  Three hook families feed it:
+
+* the virtual clock's observer reports every category attribution
+  (:class:`~repro.trace.events.AttributionSpan`);
+* the bus's observer reports every scheduled DMA transfer, which the
+  tracer tags with the coherence mechanism and array the issuing
+  runtime component announced via :meth:`Tracer.tag`;
+* the runtime components emit kernel-launch and decision events
+  directly (:meth:`Tracer.emit`).
+
+The tracer only ever *reads* runtime state: it never touches the
+clock, the bus schedule, or any device buffer, so tracing cannot
+change modeled time or results -- the test suite pins this down by
+diffing traced against untraced runs bit for bit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..vcuda.bus import CATEGORY_GPU_GPU_OVERLAPPED
+from .events import (
+    EVENT_D2H,
+    EVENT_H2D,
+    EVENT_KERNEL,
+    EVENT_LOOP_BEGIN,
+    EVENT_LOOP_END,
+    EVENT_P2P,
+    AttributionSpan,
+    TraceEvent,
+)
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..vcuda.bus import Transfer
+    from ..vcuda.device import KernelLaunchRecord
+
+_TRANSFER_KINDS = {"h2d": EVENT_H2D, "d2h": EVENT_D2H, "p2p": EVENT_P2P}
+
+
+class Tracer:
+    """Structured event log + metrics for one traced program run."""
+
+    def __init__(self, ngpus: int = 1, machine: str = "") -> None:
+        self.ngpus = ngpus
+        self.machine = machine
+        self.events: list[TraceEvent] = []
+        self.spans: list[AttributionSpan] = []
+        self.metrics = MetricsRegistry()
+        #: Parallel loop currently executing (None between loops).
+        self.current_loop: str | None = None
+        self.current_call: int | None = None
+        self._calls: dict[str, int] = {}
+        self._seq = 0
+        #: Mechanism/array tag applied to bus transfers observed while
+        #: the tag is set (the issuing component knows the mechanism;
+        #: the bus only knows the physical kind).
+        self._tag_mechanism: str | None = None
+        self._tag_array: str | None = None
+        #: Exact per-category second totals, accumulated in clock order
+        #: -- bit-identical to the clock's own category accumulators.
+        self._category_totals: dict[str | None, float] = {}
+        #: The same, split per (loop, category) for the summary table.
+        self._loop_categories: dict[str | None, dict[str | None, float]] = {}
+
+    # -- emission ------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def emit(self, kind: str, label: str, *, start: float,
+             duration: float = 0.0, gpu: int | None = None,
+             src_gpu: int | None = None, dst_gpu: int | None = None,
+             array: str | None = None, mechanism: str | None = None,
+             nbytes: int = 0, **attrs: Any) -> TraceEvent:
+        ev = TraceEvent(
+            seq=self._next_seq(), kind=kind, label=label, start=start,
+            duration=duration, loop=self.current_loop,
+            loop_call=self.current_call, gpu=gpu, src_gpu=src_gpu,
+            dst_gpu=dst_gpu, array=array, mechanism=mechanism,
+            nbytes=nbytes, attrs=dict(attrs))
+        self.events.append(ev)
+        return ev
+
+    # -- loop bracketing -----------------------------------------------------
+
+    def enter_loop(self, loop: str) -> None:
+        """A parallel loop starts: subsequent events/spans attribute to
+        it.  The ``loop_begin`` event follows once the task split is
+        known (:meth:`loop_started`) so balancer decisions made while
+        planning the split already carry the right loop id."""
+        call = self._calls.get(loop, 0)
+        self._calls[loop] = call + 1
+        self.current_loop = loop
+        self.current_call = call
+        self.metrics.count("loop_calls", 1, loop=loop)
+
+    def loop_started(self, now: float, tasks: list[tuple[int, int]]) -> None:
+        assert self.current_loop is not None
+        self.emit(EVENT_LOOP_BEGIN, self.current_loop, start=now,
+                  tasks=[list(t) for t in tasks])
+
+    def end_loop(self, now: float) -> None:
+        assert self.current_loop is not None
+        self.emit(EVENT_LOOP_END, self.current_loop, start=now)
+        self.current_loop = None
+        self.current_call = None
+
+    # -- kernel-context counters (generated-code instrumentation) ------------
+
+    def count_miss(self, array: str, gpu: int, records: int) -> None:
+        """A kernel buffered ``records`` write-miss records."""
+        self.metrics.count("write_miss_records", records,
+                           loop=self.current_loop, gpu=gpu, array=array)
+
+    def count_dirty(self, array: str, gpu: int, elements: int) -> None:
+        """A kernel marked ``elements`` replica elements dirty."""
+        self.metrics.count("dirty_elements_marked", elements,
+                           loop=self.current_loop, gpu=gpu, array=array)
+
+    # -- kernel launches -----------------------------------------------------
+
+    def kernel_event(self, rec: "KernelLaunchRecord",
+                     iterations: int | None = None) -> None:
+        ev = self.emit(EVENT_KERNEL, rec.kernel_name, start=rec.start,
+                       duration=rec.seconds, gpu=rec.device_index,
+                       grid_dim=rec.config.grid_dim,
+                       block_dim=rec.config.block_dim,
+                       **({} if iterations is None
+                          else {"iterations": iterations}))
+        self.metrics.count("kernel_launches", 1, loop=ev.loop,
+                           gpu=rec.device_index)
+        self.metrics.observe("kernel_seconds", rec.seconds, loop=ev.loop,
+                             gpu=rec.device_index)
+
+    # -- bus observer --------------------------------------------------------
+
+    @contextmanager
+    def tag(self, mechanism: str | None = None,
+            array: str | None = None) -> Iterator[None]:
+        """Annotate bus transfers observed inside the block."""
+        prev = (self._tag_mechanism, self._tag_array)
+        self._tag_mechanism, self._tag_array = mechanism, array
+        try:
+            yield
+        finally:
+            self._tag_mechanism, self._tag_array = prev
+
+    def on_transfer(self, tr: "Transfer") -> None:
+        """Bus observer: one DMA transfer was scheduled."""
+        kind = _TRANSFER_KINDS[tr.kind]
+        mech = self._tag_mechanism
+        ev = self.emit(kind, f"{tr.kind}:{self._tag_array or ''}",
+                       start=tr.start, duration=tr.seconds,
+                       src_gpu=tr.src_device, dst_gpu=tr.dst_device,
+                       gpu=tr.dst_device if tr.dst_device is not None
+                       else tr.src_device,
+                       array=self._tag_array, mechanism=mech,
+                       nbytes=tr.nbytes, category=tr.category)
+        self.metrics.count("transfer_bytes", tr.nbytes, kind=tr.kind,
+                           mechanism=mech, loop=ev.loop)
+        self.metrics.count("transfers", 1, kind=tr.kind, mechanism=mech,
+                           loop=ev.loop)
+
+    # -- clock observer ------------------------------------------------------
+
+    def on_clock(self, start: float, seconds: float,
+                 category: str | None, charged: bool = False) -> None:
+        """Clock observer: ``seconds`` were attributed to ``category``.
+
+        ``seconds`` is exactly the delta the clock accumulated, added
+        here in the same order, so :meth:`category_totals` equals the
+        clock's category accumulators bit for bit.
+        """
+        self.spans.append(AttributionSpan(
+            seq=self._next_seq(), category=category, start=start,
+            seconds=seconds, charged=charged, loop=self.current_loop,
+            loop_call=self.current_call))
+        self._category_totals[category] = (
+            self._category_totals.get(category, 0.0) + seconds)
+        per_loop = self._loop_categories.setdefault(self.current_loop, {})
+        per_loop[category] = per_loop.get(category, 0.0) + seconds
+
+    # -- aggregate views -----------------------------------------------------
+
+    def category_totals(self) -> dict[str | None, float]:
+        """Seconds per Fig. 8 category, summed over every span.
+
+        Bit-identical to the virtual clock's accumulators (same deltas,
+        same order), which is the accounting identity the golden tests
+        assert: traced time reconciles *exactly* with the harness's
+        reported breakdown.
+        """
+        return dict(self._category_totals)
+
+    def loop_summary(self) -> list[dict[str, Any]]:
+        """Per-loop rows: calls, per-category seconds, kernel/byte totals.
+
+        The ``(outside)`` row collects spans attributed between loops
+        (data-region entry/exit traffic, end-of-program drains); with it
+        the table's column sums reproduce :meth:`category_totals`.
+        """
+        rows: list[dict[str, Any]] = []
+        loops = list(self._loop_categories)
+        # Stable order: loops in first-attribution order, outside last.
+        order: dict[str | None, int] = {}
+        for sp in self.spans:
+            order.setdefault(sp.loop, len(order))
+        loops.sort(key=lambda l: (l is None, order.get(l, len(order))))
+        for loop in loops:
+            cats = self._loop_categories[loop]
+            rows.append({
+                "loop": loop if loop is not None else "(outside)",
+                "calls": self._calls.get(loop, 0) if loop is not None else 0,
+                "categories": dict(cats),
+                "kernel_launches": self.metrics.counter_total(
+                    "kernel_launches", loop=loop),
+                "transfer_bytes": self.metrics.counter_total(
+                    "transfer_bytes", loop=loop),
+            })
+        return rows
+
+    @property
+    def hidden_comm_seconds(self) -> float:
+        """Inter-GPU seconds charged without moving the clock."""
+        return self._category_totals.get(CATEGORY_GPU_GPU_OVERLAPPED, 0.0)
+
+    def event_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out

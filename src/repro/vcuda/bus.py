@@ -81,6 +81,10 @@ class Bus:
         #: split the advanced interval into kernel / exposed-comm /
         #: hidden-comm segments instead of charging it wholesale.
         self.advancer: Callable[[float, str | None], None] | None = None
+        #: Optional pure observer of every scheduled transfer (tracing).
+        #: Called right after a transfer is queued; must not touch the
+        #: schedule.
+        self.observer: Callable[[Transfer], None] | None = None
 
     # -- pricing ------------------------------------------------------------
 
@@ -127,6 +131,8 @@ class Bus:
         t = Transfer(kind=kind, nbytes=nbytes, src_device=src, dst_device=dst,
                      start=start, end=end, category_override=category)
         self._pending.append(t)
+        if self.observer is not None:
+            self.observer(t)
         return t
 
     # -- public API ----------------------------------------------------------
@@ -146,7 +152,7 @@ class Bus:
                               not_before=not_before, category=category)
 
     def p2p(self, src: int, dst: int, nbytes: int, *,
-            not_before: float = 0.0) -> Transfer:
+            not_before: float = 0.0, category: str | None = None) -> Transfer:
         """Queue a direct GPU-to-GPU copy occupying both links.
 
         ``not_before`` is an issue dependency (e.g. "after the producing
@@ -157,7 +163,8 @@ class Bus:
         self._check_device(dst)
         if src == dst:
             raise ValueError("peer copy requires distinct devices")
-        return self._schedule("p2p", nbytes, src, dst, not_before=not_before)
+        return self._schedule("p2p", nbytes, src, dst, not_before=not_before,
+                              category=category)
 
     def sync(self, category: str | None = None) -> float:
         """Wait for all queued transfers; advance the clock to the makespan.

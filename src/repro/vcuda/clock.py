@@ -14,6 +14,13 @@ total time into the paper's Fig. 8 buckets (``KERNELS``, ``CPU-GPU``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
+
+#: Clock observer signature: ``(start, seconds, category, charged)``.
+#: ``seconds`` is exactly the delta accumulated, so an observer summing
+#: them per category reproduces :attr:`VirtualClock.categories` bit for
+#: bit -- the tracing subsystem's Fig. 8 reconciliation relies on this.
+ClockObserver = Callable[[float, float, "str | None", bool], None]
 
 
 @dataclass
@@ -28,6 +35,10 @@ class VirtualClock:
     now: float = 0.0
     #: Total advanced time per category label (seconds).
     categories: dict[str, float] = field(default_factory=dict)
+    #: Optional pure observer of every attribution (tracing).  Called
+    #: after the accumulators update; must not touch the clock.
+    observer: ClockObserver | None = field(default=None, repr=False,
+                                           compare=False)
 
     def advance(self, seconds: float, category: str | None = None) -> float:
         """Advance the clock by ``seconds`` and return the new time.
@@ -37,9 +48,12 @@ class VirtualClock:
         """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        start = self.now
         self.now += seconds
         if category is not None:
             self.categories[category] = self.categories.get(category, 0.0) + seconds
+        if self.observer is not None and seconds > 0:
+            self.observer(start, seconds, category, False)
         return self.now
 
     def advance_to(self, timestamp: float, category: str | None = None) -> float:
@@ -49,10 +63,13 @@ class VirtualClock:
         event that already completed costs nothing.
         """
         if timestamp > self.now:
+            start = self.now
             delta = timestamp - self.now
             self.now = timestamp
             if category is not None:
                 self.categories[category] = self.categories.get(category, 0.0) + delta
+            if self.observer is not None:
+                self.observer(start, delta, category, False)
         return self.now
 
     def charge(self, seconds: float, category: str) -> None:
@@ -65,6 +82,8 @@ class VirtualClock:
         if seconds < 0:
             raise ValueError(f"cannot charge negative time {seconds!r}")
         self.categories[category] = self.categories.get(category, 0.0) + seconds
+        if self.observer is not None and seconds > 0:
+            self.observer(self.now, seconds, category, True)
 
     def elapsed_in(self, category: str) -> float:
         """Total seconds attributed to ``category`` so far."""

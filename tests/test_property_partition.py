@@ -1,0 +1,217 @@
+"""Property tests: the partitioning primitives under adversarial input.
+
+The splitters feed every other runtime layer -- an invalid cover
+silently drops or duplicates iterations downstream -- so they are
+pinned by randomized properties instead of a handful of examples:
+
+* :func:`split_tasks` / :func:`split_tasks_weighted` always produce an
+  exact, ordered, contiguous cover of ``[lower, upper)`` for 1-8 GPUs,
+  including fewer tasks than GPUs, empty ranges, and adversarial
+  weights (zeros, NaN, infinities, negatives, denormal-tiny values);
+* both splits are deterministic (same inputs, same output) and
+  weighted splitting degrades to the equal split on degenerate weights;
+* ``min_chunk`` is honored for every positive-weight GPU whenever the
+  range is large enough, and never breaks the cover;
+* :func:`primary_blocks` ownership always covers the array exactly and
+  :func:`owner_of` maps every element to the block that owns it.
+"""
+
+import hashlib
+
+import numpy as np
+from hypothesis import given, seed, settings, strategies as st
+
+from repro.runtime.partition import (
+    Block,
+    owner_of,
+    primary_blocks,
+    split_tasks,
+    split_tasks_weighted,
+)
+
+_SETTINGS = dict(max_examples=200, deadline=None, database=None)
+
+
+def _case_seed(case_id: str) -> int:
+    digest = hashlib.sha256(case_id.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+#: Adversarial weight values: garbage measurements the balancer could
+#: conceivably feed the splitter.
+_WEIGHTS = st.one_of(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.just(0.0),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.floats(min_value=-10.0, max_value=0.0),
+    st.just(5e-324),  # smallest denormal
+    st.just(1e-300),
+)
+
+_RANGES = st.tuples(st.integers(-50, 1000), st.integers(0, 1000)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+def assert_exact_cover(tasks, lower, upper, ngpus):
+    """The one partition invariant everything downstream relies on."""
+    assert len(tasks) == ngpus
+    start = lower
+    for t0, t1 in tasks:
+        assert t0 == start, f"gap/overlap at {t0} (expected {start})"
+        assert t1 >= t0, f"negative slice ({t0}, {t1})"
+        start = t1
+    assert start == max(lower, upper)
+
+
+class TestSplitTasks:
+    @seed(_case_seed("TestSplitTasks::test_exact_ordered_cover"))
+    @given(_RANGES, st.integers(1, 8))
+    @settings(**_SETTINGS)
+    def test_exact_ordered_cover(self, bounds, ngpus):
+        lower, upper = bounds
+        tasks = split_tasks(lower, upper, ngpus)
+        assert_exact_cover(tasks, lower, upper, ngpus)
+
+    @seed(_case_seed("TestSplitTasks::test_equal_split_balance"))
+    @given(_RANGES, st.integers(1, 8))
+    @settings(**_SETTINGS)
+    def test_equal_split_balance(self, bounds, ngpus):
+        lower, upper = bounds
+        sizes = [t1 - t0 for t0, t1 in split_tasks(lower, upper, ngpus)]
+        assert max(sizes) - min(sizes) <= 1
+        # Larger slices come first (the remainder goes to low indices).
+        assert sizes == sorted(sizes, reverse=True)
+
+    @seed(_case_seed("TestSplitTasks::test_fewer_tasks_than_gpus"))
+    @given(st.integers(0, 7), st.integers(1, 8))
+    @settings(**_SETTINGS)
+    def test_fewer_tasks_than_gpus(self, total, ngpus):
+        tasks = split_tasks(0, total, ngpus)
+        assert_exact_cover(tasks, 0, total, ngpus)
+        nonempty = [t for t in tasks if t[1] > t[0]]
+        assert len(nonempty) == min(total, ngpus)
+        assert all(t1 - t0 == 1 for t0, t1 in nonempty) or total >= ngpus
+
+
+class TestSplitTasksWeighted:
+    @seed(_case_seed("TestSplitTasksWeighted::test_exact_cover_adversarial"))
+    @given(_RANGES, st.lists(_WEIGHTS, min_size=1, max_size=8),
+           st.integers(0, 16))
+    @settings(**_SETTINGS)
+    def test_exact_cover_adversarial(self, bounds, weights, min_chunk):
+        lower, upper = bounds
+        tasks = split_tasks_weighted(lower, upper, weights, min_chunk)
+        assert_exact_cover(tasks, lower, upper, len(weights))
+
+    @seed(_case_seed("TestSplitTasksWeighted::test_deterministic"))
+    @given(_RANGES, st.lists(_WEIGHTS, min_size=1, max_size=8),
+           st.integers(0, 16))
+    @settings(**_SETTINGS)
+    def test_deterministic(self, bounds, weights, min_chunk):
+        lower, upper = bounds
+        a = split_tasks_weighted(lower, upper, weights, min_chunk)
+        b = split_tasks_weighted(lower, upper, list(weights), min_chunk)
+        assert a == b
+
+    @seed(_case_seed("TestSplitTasksWeighted::test_degenerate_weights"))
+    @given(_RANGES, st.integers(1, 8),
+           st.sampled_from(["zeros", "nans", "infs", "negative"]))
+    @settings(**_SETTINGS)
+    def test_degenerate_weights(self, bounds, ngpus, kind):
+        """No usable proportion information -> the equal split."""
+        lower, upper = bounds
+        weights = {
+            "zeros": [0.0] * ngpus,
+            "nans": [float("nan")] * ngpus,
+            "infs": [float("inf")] * ngpus,
+            "negative": [-1.0] * ngpus,
+        }[kind]
+        assert (split_tasks_weighted(lower, upper, weights)
+                == split_tasks(lower, upper, ngpus))
+
+    @seed(_case_seed("TestSplitTasksWeighted::test_nan_clamps_to_zero"))
+    @given(st.integers(10, 500), st.integers(2, 8))
+    @settings(**_SETTINGS)
+    def test_nan_clamps_to_zero(self, total, ngpus):
+        """One NaN weight starves that GPU, never poisons the split."""
+        weights = [1.0] * ngpus
+        weights[ngpus // 2] = float("nan")
+        tasks = split_tasks_weighted(0, total, weights)
+        assert_exact_cover(tasks, 0, total, ngpus)
+        t0, t1 = tasks[ngpus // 2]
+        assert t1 == t0
+
+    @seed(_case_seed("TestSplitTasksWeighted::test_proportionality"))
+    @given(st.integers(64, 2000), st.integers(2, 8), st.data())
+    @settings(**_SETTINGS)
+    def test_proportionality(self, total, ngpus, data):
+        """With sane weights, each slice is within one task of its
+        proportional share."""
+        weights = [data.draw(st.floats(min_value=0.1, max_value=10.0,
+                                       allow_nan=False))
+                   for _ in range(ngpus)]
+        tasks = split_tasks_weighted(0, total, weights)
+        s = sum(weights)
+        for (t0, t1), w in zip(tasks, weights):
+            assert abs((t1 - t0) - total * w / s) < 1.0 + 1e-9
+
+    @seed(_case_seed("TestSplitTasksWeighted::test_min_chunk_honored"))
+    @given(st.integers(2, 8), st.integers(1, 8), st.data())
+    @settings(**_SETTINGS)
+    def test_min_chunk_honored(self, ngpus, min_chunk, data):
+        weights = [data.draw(st.floats(min_value=0.01, max_value=10.0,
+                                       allow_nan=False))
+                   for _ in range(ngpus)]
+        total = data.draw(st.integers(ngpus * min_chunk, 4000))
+        tasks = split_tasks_weighted(0, total, weights, min_chunk)
+        assert_exact_cover(tasks, 0, total, ngpus)
+        sizes = [t1 - t0 for t0, t1 in tasks]
+        # Every GPU has positive weight here, and the range is big
+        # enough, so either all slices meet min_chunk or the splitter
+        # legitimately fell back to the equal split (which may not).
+        if tasks != split_tasks(0, total, ngpus):
+            assert all(sz >= min_chunk for sz in sizes)
+
+    @seed(_case_seed("TestSplitTasksWeighted::test_tiny_weights"))
+    @given(st.integers(1, 1000), st.integers(1, 8))
+    @settings(**_SETTINGS)
+    def test_tiny_weights(self, total, ngpus):
+        """Denormal-tiny but equal weights behave like the equal split
+        (the ratio, not the magnitude, carries the information)."""
+        tasks = split_tasks_weighted(0, total, [1e-300] * ngpus)
+        assert_exact_cover(tasks, 0, total, ngpus)
+        sizes = [t1 - t0 for t0, t1 in tasks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestOwnership:
+    @seed(_case_seed("TestOwnership::test_primary_blocks_cover"))
+    @given(st.integers(1, 6), st.integers(0, 400), st.data())
+    @settings(**_SETTINGS)
+    def test_primary_blocks_cover(self, ngpus, length, data):
+        """Ownership of halo'd windows is an exact disjoint cover."""
+        halo = data.draw(st.integers(0, 5))
+        tasks = split_tasks(0, length, ngpus)
+        windows = [Block(max(0, t0 - halo), min(length, t1 + halo))
+                   if t1 > t0 else Block(0, 0)
+                   for t0, t1 in tasks]
+        prim = primary_blocks(windows, length)
+        assert len(prim) == ngpus
+        start = 0
+        for b in prim:
+            assert b.lo == start and b.hi >= b.lo
+            start = b.hi
+        assert start == length
+
+    @seed(_case_seed("TestOwnership::test_owner_of_matches_blocks"))
+    @given(st.integers(1, 6), st.integers(1, 400))
+    @settings(**_SETTINGS)
+    def test_owner_of_matches_blocks(self, ngpus, length):
+        tasks = split_tasks(0, length, ngpus)
+        blocks = [Block(t0, t1) for t0, t1 in tasks]
+        idx = np.arange(length, dtype=np.int64)
+        owners = owner_of(idx, blocks)
+        for g, b in enumerate(blocks):
+            sel = (idx >= b.lo) & (idx < b.hi)
+            assert (owners[sel] == g).all()

@@ -1,0 +1,304 @@
+"""Unit tests for the tracing subsystem's primitives.
+
+The integration/golden suites (``tests/trace_golden/``) pin whole-run
+behavior; these tests pin the pieces in isolation: the metrics
+registry's label algebra, the tracer's bracketing/tagging/accumulation
+semantics on synthetic inputs, the exporters' formats, the golden
+normalizer/diff, and the ``fig8_reconciliation`` harness helper.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.apps import ALL_APPS
+from repro.bench.harness import fig8_reconciliation
+from repro.trace import (
+    EVENT_KERNEL,
+    EVENT_LOOP_BEGIN,
+    EVENT_RESPLIT,
+    MECH_HALO,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    jsonl,
+    lane_names,
+    loop_summary_table,
+    reconcile,
+)
+from repro.trace.golden import TraceInvariantError, check_invariants, diff
+from repro.vcuda.bus import (
+    CATEGORY_CPU_GPU,
+    CATEGORY_GPU_GPU,
+    CATEGORY_KERNELS,
+    Transfer,
+)
+from repro.vcuda.profiler import TimeBreakdown
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        m = MetricsRegistry()
+        m.count("bytes", 10, gpu=0, loop="a")
+        m.count("bytes", 5, gpu=0, loop="a")
+        m.count("bytes", 7, gpu=1, loop="a")
+        assert m.counter_total("bytes", gpu=0, loop="a") == 15
+        assert m.counter_total("bytes", gpu=1) == 7
+
+    def test_counter_total_sums_over_unspecified_labels(self):
+        m = MetricsRegistry()
+        m.count("bytes", 1, gpu=0, loop="a")
+        m.count("bytes", 2, gpu=1, loop="a")
+        m.count("bytes", 4, gpu=0, loop="b")
+        assert m.counter_total("bytes") == 7
+        assert m.counter_total("bytes", loop="a") == 3
+        assert m.counter_total("bytes", gpu=0) == 5
+        assert m.counter_total("bytes", gpu=2) == 0
+        assert m.counter_total("nonexistent") == 0
+
+    def test_label_order_is_irrelevant(self):
+        m = MetricsRegistry()
+        m.count("n", 1, a=1, b=2)
+        m.count("n", 1, b=2, a=1)
+        assert m.counter_total("n", a=1, b=2) == 2
+
+    def test_histograms(self):
+        m = MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            m.observe("secs", v, loop="a")
+        h = m.histogram("secs", loop="a")
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0 and h.mean == 2.0
+        empty = m.histogram("secs", loop="zzz")
+        assert empty.count == 0 and empty.mean == 0.0
+
+    def test_snapshot_is_json_serializable(self):
+        m = MetricsRegistry()
+        m.count("bytes", 3, kind="h2d", mechanism=None)
+        m.count("launches", 2)
+        snap = m.snapshot()
+        json.dumps(snap)
+        assert snap["launches"]["(total)"] == 2
+
+
+def _transfer(kind, nbytes, src, dst, start=0.0, secs=1e-4, category=None):
+    return Transfer(kind=kind, nbytes=nbytes, src_device=src,
+                    dst_device=dst, start=start, end=start + secs,
+                    category_override=category)
+
+
+class TestTracer:
+    def test_seq_strictly_increasing_across_events_and_spans(self):
+        t = Tracer(ngpus=2)
+        t.emit("load", "x", start=0.0)
+        t.on_clock(0.0, 0.5, CATEGORY_KERNELS)
+        t.emit("load", "y", start=1.0)
+        seqs = [t.events[0].seq, t.spans[0].seq, t.events[1].seq]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 3
+
+    def test_loop_bracketing_attributes_events(self):
+        t = Tracer(ngpus=2)
+        t.enter_loop("L7")
+        # Decisions made while planning the split (before loop_begin)
+        # already carry the loop id.
+        ev = t.emit(EVENT_RESPLIT, "L7", start=0.0)
+        assert ev.loop == "L7" and ev.loop_call == 0
+        t.loop_started(0.0, [(0, 5), (5, 10)])
+        t.end_loop(1.0)
+        assert t.current_loop is None
+        t.enter_loop("L7")
+        assert t.current_call == 1
+        t.loop_started(1.0, [(0, 10), (10, 10)])
+        t.end_loop(2.0)
+        assert t.metrics.counter_total("loop_calls", loop="L7") == 2
+        begin = next(e for e in t.events if e.kind == EVENT_LOOP_BEGIN)
+        assert begin.attrs["tasks"] == [[0, 5], [5, 10]]
+
+    def test_tag_annotates_transfers_and_restores(self):
+        t = Tracer(ngpus=2)
+        with t.tag(MECH_HALO, "u"):
+            t.on_transfer(_transfer("p2p", 4096, 0, 1))
+        t.on_transfer(_transfer("h2d", 128, None, 0))
+        tagged, untagged = t.events
+        assert tagged.mechanism == MECH_HALO and tagged.array == "u"
+        assert tagged.kind == "p2p" and tagged.nbytes == 4096
+        assert untagged.mechanism is None and untagged.array is None
+        assert t.metrics.counter_total("transfer_bytes",
+                                       mechanism=MECH_HALO) == 4096
+
+    def test_tag_nesting_restores_outer_tag(self):
+        t = Tracer()
+        with t.tag("outer", "a"):
+            with t.tag("inner", "b"):
+                t.on_transfer(_transfer("p2p", 1, 0, 1))
+            t.on_transfer(_transfer("p2p", 2, 0, 1))
+        assert t.events[0].mechanism == "inner"
+        assert t.events[1].mechanism == "outer"
+
+    def test_category_totals_accumulate_exactly(self):
+        t = Tracer()
+        deltas = [0.1, 0.2, 0.30000000000000004, 1e-12]
+        expect = 0.0
+        for d in deltas:
+            t.on_clock(0.0, d, CATEGORY_KERNELS)
+            expect += d
+        # Bit-exact: same deltas, same order, same accumulator shape.
+        assert t.category_totals()[CATEGORY_KERNELS] == expect
+
+    def test_hidden_comm_seconds(self):
+        from repro.vcuda.bus import CATEGORY_GPU_GPU_OVERLAPPED
+        t = Tracer()
+        assert t.hidden_comm_seconds == 0.0
+        t.on_clock(0.0, 0.25, CATEGORY_GPU_GPU_OVERLAPPED, charged=True)
+        assert t.hidden_comm_seconds == 0.25
+
+    def test_loop_summary_sums_to_category_totals(self):
+        t = Tracer()
+        t.enter_loop("a")
+        t.loop_started(0.0, [(0, 1)])
+        t.on_clock(0.0, 0.5, CATEGORY_KERNELS)
+        t.end_loop(0.5)
+        t.on_clock(0.5, 0.25, CATEGORY_CPU_GPU)  # between loops
+        rows = t.loop_summary()
+        assert [r["loop"] for r in rows] == ["a", "(outside)"]
+        summed: dict = {}
+        for r in rows:
+            for c, s in r["categories"].items():
+                summed[c] = summed.get(c, 0.0) + s
+        assert summed == t.category_totals()
+
+
+class TestExporters:
+    def _traced(self):
+        t = Tracer(ngpus=2, machine="desktop")
+        t.enter_loop("L0")
+        t.loop_started(0.0, [(0, 4), (4, 8)])
+        t.emit(EVENT_KERNEL, "k0", start=0.0, duration=0.001, gpu=1,
+               grid_dim=1, block_dim=128)
+        with t.tag(MECH_HALO, "u"):
+            t.on_transfer(_transfer("p2p", 64, 0, 1, start=0.001))
+        t.on_transfer(_transfer("h2d", 32, None, 0, start=0.002))
+        t.end_loop(0.003)
+        return t
+
+    def test_chrome_trace_structure(self):
+        doc = chrome_trace(self._traced())
+        json.dumps(doc)  # serializable
+        evs = doc["traceEvents"]
+        meta = [e for e in evs if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {m["args"]["name"] for m in meta} == {
+            "gpu0", "gpu1", "loader", "comm"}
+        kernel = next(e for e in evs if e.get("cat") == EVENT_KERNEL)
+        assert kernel["ph"] == "X"
+        assert kernel["tid"] == 1  # its GPU's lane
+        assert kernel["dur"] == pytest.approx(1000.0)  # 1 ms in µs
+        p2p = next(e for e in evs if e.get("cat") == "p2p")
+        h2d = next(e for e in evs if e.get("cat") == "h2d")
+        names = lane_names(2)
+        assert names[p2p["tid"]] == "comm"
+        assert names[h2d["tid"]] == "loader"
+
+    def test_jsonl_round_trips(self):
+        t = self._traced()
+        lines = [json.loads(l) for l in jsonl(t).splitlines()]
+        assert len(lines) == len(t.events)
+        assert [l["seq"] for l in lines] == [ev.seq for ev in t.events]
+        p2p = next(l for l in lines if l["kind"] == "p2p")
+        assert p2p["mechanism"] == MECH_HALO and p2p["nbytes"] == 64
+        assert jsonl(Tracer()) == ""
+
+    def test_reconcile_residuals(self):
+        t = Tracer()
+        t.on_clock(0.0, 1.5, CATEGORY_KERNELS)
+        t.on_clock(1.5, 0.5, CATEGORY_CPU_GPU)
+        t.on_clock(2.0, 0.25, CATEGORY_GPU_GPU)
+        t.on_clock(2.25, 0.125, None)
+        bd = TimeBreakdown(kernels=1.5, cpu_gpu=0.5, gpu_gpu=0.25,
+                           other=0.125)
+        rows = reconcile(t, bd)
+        for bucket in ("kernels", "cpu_gpu", "gpu_gpu",
+                       "gpu_gpu_overlapped"):
+            assert rows[bucket]["residual"] == 0.0
+        assert abs(rows["other"]["residual"]) <= 1e-9
+        # A deliberate mismatch shows up as a nonzero residual.
+        bad = TimeBreakdown(kernels=1.0, cpu_gpu=0.5, gpu_gpu=0.25)
+        assert reconcile(t, bad)["kernels"]["residual"] == 0.5
+
+    def test_loop_summary_table_renders(self):
+        t = Tracer(ngpus=2)
+        t.enter_loop("L0")
+        t.loop_started(0.0, [(0, 4), (4, 8)])
+        t.on_clock(0.0, 0.001, CATEGORY_KERNELS)
+        t.end_loop(0.001)
+        text = loop_summary_table(t)
+        assert "L0" in text and "(sum)" in text
+
+
+class TestGoldenHelpers:
+    def test_check_invariants_rejects_malformed_traces(self):
+        t = Tracer()
+        t.enter_loop("a")
+        t.loop_started(0.0, [(0, 1)])
+        with pytest.raises(TraceInvariantError, match="unclosed"):
+            check_invariants(t)  # never ended
+
+        t2 = Tracer()
+        t2.enter_loop("a")
+        t2.loop_started(0.0, [(0, 1)])
+        t2.enter_loop("b")
+        t2.loop_started(0.0, [(0, 1)])  # nested loop_begin
+        with pytest.raises(TraceInvariantError, match="inside open loop"):
+            check_invariants(t2)
+
+        t3 = Tracer()
+        t3.emit(EVENT_KERNEL, "k", start=0.0, duration=0.1, gpu=0)
+        with pytest.raises(TraceInvariantError, match="outside any loop"):
+            check_invariants(t3)
+
+    def test_diff_reports_paths(self):
+        golden = {"a": {"b": 1, "c": 2}, "order": ["x", "y"]}
+        same = {"a": {"b": 1, "c": 2}, "order": ["x", "y"]}
+        assert diff(same, golden) == []
+        problems = diff({"a": {"b": 9}, "order": ["x"]}, golden)
+        text = "\n".join(problems)
+        assert "trace.a.b" in text      # changed value
+        assert "trace.a.c" in text      # missing key
+        assert "trace.order" in text    # list mismatch
+
+
+class TestFig8ReconciliationHarness:
+    def test_identity_holds_on_tiny_workload(self):
+        rows = fig8_reconciliation(
+            machine="desktop", apps={"md": ALL_APPS["md"]}, workload="tiny")
+        assert [r.ngpus for r in rows] == [1, 2]
+        for r in rows:
+            assert r.app == "md" and r.machine == "desktop"
+            for bucket, vals in r.buckets.items():
+                tol = 1e-9 if bucket == "other" else 0.0
+                assert abs(vals["residual"]) <= tol, (bucket, vals)
+            assert r.max_residual <= 1e-9
+
+
+class TestTraceOptIn:
+    def test_trace_off_by_default(self):
+        spec = ALL_APPS["md"]
+        prog = repro.compile(spec.source)
+        run = prog.run(spec.entry, spec.args_for("tiny"), ngpus=2)
+        assert run.tracer is None
+
+    def test_env_var_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        spec = ALL_APPS["md"]
+        prog = repro.compile(spec.source)
+        run = prog.run(spec.entry, spec.args_for("tiny"), ngpus=2)
+        assert run.tracer is not None
+        assert run.tracer.events
+
+    def test_env_var_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        spec = ALL_APPS["md"]
+        prog = repro.compile(spec.source)
+        run = prog.run(spec.entry, spec.args_for("tiny"), ngpus=2)
+        assert run.tracer is None

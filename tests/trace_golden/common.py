@@ -1,0 +1,40 @@
+"""Shared machinery of the golden-trace tests and the update script."""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+
+from repro.api import compile as compile_acc
+from repro.apps import ALL_APPS, EXTRA_APPS
+from repro.bench.machines import hypothetical_node
+from repro.vcuda.specs import MACHINES
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+GPU_COUNTS = (1, 2, 4)
+APPS = dict(ALL_APPS) | dict(EXTRA_APPS)
+CASES = [(name, g) for name in APPS for g in GPU_COUNTS]
+
+
+def golden_path(app: str, ngpus: int) -> str:
+    return os.path.join(GOLDEN_DIR, f"{app}-{ngpus}gpu.json")
+
+
+def machine_for(ngpus: int):
+    spec = MACHINES["desktop"]
+    return spec if ngpus <= spec.gpu_count else hypothetical_node(ngpus)
+
+
+@functools.lru_cache(maxsize=None)
+def traced_run(app: str, ngpus: int):
+    """One traced tiny-workload run per (app, ngpus), cached per session."""
+    spec = APPS[app]
+    prog = compile_acc(spec.source)
+    return prog.run(spec.entry, spec.args_for("tiny"),
+                    machine=machine_for(ngpus), ngpus=ngpus, trace=True)
+
+
+def load_golden(app: str, ngpus: int) -> dict:
+    with open(golden_path(app, ngpus)) as f:
+        return json.load(f)

@@ -1,0 +1,69 @@
+"""Golden-trace regression tests.
+
+Every example app runs traced on 1/2/4 GPUs; the trace must (a) satisfy
+the structural invariants every trace satisfies, (b) normalize to
+exactly the recorded golden summary (counts, orderings, byte totals --
+no timestamps, so cost-model changes don't churn these), and (c)
+reconcile bit-exactly with the profiler's Fig. 8 breakdown.
+
+Goldens live in ``goldens/``; regenerate intentionally with
+``python tests/trace_golden/update_goldens.py`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.trace.export import reconcile
+from repro.trace.golden import check_invariants, diff, normalize
+
+from .common import CASES, golden_path, load_golden, traced_run
+
+CASE_IDS = [f"{app}-{g}gpu" for app, g in CASES]
+
+
+@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
+def test_trace_invariants(app, ngpus):
+    run = traced_run(app, ngpus)
+    assert run.tracer is not None
+    check_invariants(run.tracer)
+
+
+@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
+def test_trace_matches_golden(app, ngpus):
+    path = golden_path(app, ngpus)
+    assert os.path.exists(path), (
+        f"no golden for {app} ngpus={ngpus}; run "
+        "tests/trace_golden/update_goldens.py")
+    run = traced_run(app, ngpus)
+    summary = normalize(run.tracer)
+    problems = diff(summary, load_golden(app, ngpus))
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
+def test_trace_reconciles_with_breakdown(app, ngpus):
+    """Fig. 8 accounting identity: traced category seconds equal the
+    profiler's reported breakdown exactly (``other`` to float
+    tolerance, being a subtraction in the profiler)."""
+    run = traced_run(app, ngpus)
+    rows = reconcile(run.tracer, run.breakdown)
+    for bucket, row in rows.items():
+        tol = 1e-9 if bucket == "other" else 0.0
+        assert abs(row["residual"]) <= tol, (
+            f"{bucket}: traced {row['traced']!r} != reported "
+            f"{row['reported']!r}")
+
+
+@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
+def test_trace_byte_totals_match_bus(app, ngpus):
+    """Traced transfer bytes equal what the bus actually moved."""
+    run = traced_run(app, ngpus)
+    summary = normalize(run.tracer)
+    bus = run.platform.bus
+    for kind in ("h2d", "d2h", "p2p"):
+        traced = summary["transfer_bytes"].get(kind, 0)
+        assert traced == bus.bytes_moved(kind), (
+            f"{kind}: traced {traced} != bus {bus.bytes_moved(kind)}")

@@ -1,0 +1,47 @@
+"""Regenerate the recorded golden-trace summaries.
+
+Run after an intentional change to the runtime's decision structure
+(new events, different transfer batching, changed loop counts)::
+
+    PYTHONPATH=src python tests/trace_golden/update_goldens.py
+
+Then review the JSON diffs like any other golden update: every changed
+count or byte total should be explainable by the change you made.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.trace.golden import check_invariants, normalize  # noqa: E402
+
+from tests.trace_golden.common import (  # noqa: E402
+    CASES,
+    GOLDEN_DIR,
+    golden_path,
+    traced_run,
+)
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for app, ngpus in CASES:
+        run = traced_run(app, ngpus)
+        check_invariants(run.tracer)
+        summary = normalize(run.tracer)
+        path = golden_path(app, ngpus)
+        with open(path, "w") as f:
+            json.dump(summary, f, indent=1, sort_keys=False)
+            f.write("\n")
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
