@@ -7,7 +7,8 @@ The package implements the paper's full stack:
   paper's ``localaccess`` and ``reductiontoarray`` directive extensions;
 * :mod:`repro.translator` -- the translator: vectorized NumPy kernel
   code generation, dirty-bit/write-miss instrumentation, array
-  configuration information, static cost analysis, host execution;
+  configuration information, automatic ``localaccess`` inference,
+  static cost analysis, host execution;
 * :mod:`repro.runtime` -- the multi-GPU runtime: data loader with
   replica/distribution placement, two-level dirty-bit inter-GPU
   communication manager, write-miss routing, hierarchical reductions;
@@ -18,7 +19,10 @@ The package implements the paper's full stack:
 * :mod:`repro.apps` -- the paper's benchmarks (MD, KMEANS, BFS) in
   OpenACC C, with input generators and NumPy references;
 * :mod:`repro.bench` -- the harness regenerating the paper's tables
-  and figures.
+  and figures;
+* :mod:`repro.explain` -- per-loop, per-array placement reports
+  (declared vs inferred vs replica; also
+  ``python -m repro.explain``).
 """
 
 from .api import (AccProgram, ProgramRun, TimelineEvent, compile,

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from .explain import ExplainReport
 
 from .runtime.context import AccExecutor, LoopRunStats
 from .runtime.data_loader import DataLoader
@@ -132,6 +135,17 @@ class AccProgram:
     def kernel_source(self, name: str) -> str:
         """The generated vectorized NumPy source for one kernel."""
         return self.compiled.plan(name).source
+
+    def explain(self) -> "ExplainReport":
+        """Per-loop, per-array placement report (``repro.explain``).
+
+        Shows, for every parallel loop and array, whether placement is
+        replica or distributed, whether the window was declared by a
+        ``localaccess`` directive or inferred by the compiler, the
+        window formula, and why inference bailed where it did.
+        """
+        from .explain import explain
+        return explain(self.compiled)
 
     def run(
         self,

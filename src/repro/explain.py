@@ -1,0 +1,277 @@
+"""Compiler placement "explain" reports.
+
+For every parallel loop and every device array it touches, the
+translator makes a placement decision: replicate the array on every
+GPU (the safe default), or distribute it using a per-iteration access
+window -- either one the programmer *declared* with ``localaccess`` or
+one the compiler *inferred* from the affine access analysis
+(:mod:`repro.translator.infer`).  This module renders those decisions
+as a report so the programmer can see, per loop and per array:
+
+* the placement (replica vs distributed) and who decided it
+  (``declared`` / ``inferred`` / ``replica-default``),
+* the window formula (e.g. ``[i - 1, i + 1]``) and, for inferred
+  windows, the ``localaccess`` clause that would declare the same
+  window by hand,
+* why inference *declined* an array (the bail-out reason), and
+* whether the sanitizer's localaccess auditor cross-checks the window
+  in sanitized runs (every active distribution window is audited, so a
+  too-narrow inferred window raises ``CoherenceViolation`` instead of
+  silently reading stale halo).
+
+Use it three ways::
+
+    import repro
+    repro.compile(src).explain().render()     # from an AccProgram
+
+    from repro.explain import explain
+    explain(src, options=CompileOptions(infer=False))
+
+    python -m repro.explain program.c         # CLI; --json, --fortran,
+    python -m repro.explain --app stencil     # --no-infer, --app NAME
+
+See ``docs/ANALYSIS.md`` for the inference rules the report reflects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from .frontend.analysis import affine_in, const_value
+from .frontend.cast import Expr, render_expr
+from .sanitizer.audit import audited_windows
+from .translator.array_config import LoopConfig, Placement
+from .translator.compiler import (
+    CompiledProgram,
+    CompileOptions,
+    compile_source,
+)
+from .translator.infer import equivalent_stride_clause
+
+
+@dataclass(frozen=True)
+class ArrayReport:
+    """Placement decision for one (loop, array) pair."""
+
+    array: str
+    #: ``"replica"`` or ``"distributed"``.
+    placement: str
+    #: Who decided: ``"declared"`` (a ``localaccess`` directive),
+    #: ``"inferred"`` (the inference pass), ``"replica-default"``.
+    origin: str
+    #: ``"read"``, ``"write"``, or ``"read+write"``.
+    access: str
+    #: Post-kernel write strategy (``none`` for read-only arrays).
+    write_handling: str
+    #: Inclusive per-iteration window ``[lower, upper]`` as C source,
+    #: or None for windowless replica placement.
+    window: str | None
+    #: For inferred windows: the ``localaccess`` clause a programmer
+    #: would write to declare the same window (None otherwise).
+    stride_clause: str | None
+    #: Why the inference pass declined this array (None when it adopted
+    #: a window, a directive decided, or the array is a reduction
+    #: target handled elsewhere).
+    bail_reason: str | None
+    #: Layout transformation applied (reads priced as coalesced).
+    coalesced: bool
+    #: True when sanitized runs audit this window against the actual
+    #: per-iteration access spans.
+    audited: bool
+
+    def describe(self) -> str:
+        """One human-readable line (without the array name)."""
+        if self.placement == "distributed":
+            parts = [f"distributed, {self.origin} window {self.window}"]
+            if self.stride_clause is not None:
+                parts[-1] += f"  (= localaccess {self.array}:" \
+                             f"{self.stride_clause})"
+        elif self.window is not None:
+            parts = [f"replica, {self.origin} whole-array window"]
+        else:
+            parts = ["replica (default)"]
+        parts.append(self.access if self.write_handling == "none"
+                     else f"{self.access} [{self.write_handling}]")
+        if self.bail_reason is not None:
+            parts.append(f"not inferred: {self.bail_reason}")
+        if self.coalesced:
+            parts.append("coalesced layout")
+        if self.audited:
+            parts.append("audited in sanitized runs")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class LoopReport:
+    """All array decisions of one parallel loop."""
+
+    loop: str
+    loop_var: str
+    arrays: tuple[ArrayReport, ...]
+
+    def array(self, name: str) -> ArrayReport:
+        for a in self.arrays:
+            if a.array == name:
+                return a
+        raise KeyError(f"loop {self.loop!r} does not touch array {name!r}")
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Placement decisions for every parallel loop of a program."""
+
+    loops: tuple[LoopReport, ...]
+
+    def loop(self, name: str) -> LoopReport:
+        for l in self.loops:
+            if l.loop == name:
+                return l
+        raise KeyError(f"no parallel loop named {name!r}")
+
+    def render(self) -> str:
+        """Multi-line text report (what the CLI prints)."""
+        lines: list[str] = []
+        for lp in self.loops:
+            lines.append(f"loop {lp.loop} (iterates {lp.loop_var}):")
+            width = max((len(a.array) for a in lp.arrays), default=0)
+            for a in lp.arrays:
+                lines.append(f"  {a.array:<{width}}  {a.describe()}")
+            if not lp.arrays:
+                lines.append("  (no device arrays)")
+        return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps({"loops": [asdict(l) for l in self.loops]},
+                          indent=indent)
+
+
+def _bound_text(e: Expr, loop_var: str) -> str:
+    """Canonical text of one window bound.
+
+    Bounds affine in the loop variable with a constant offset print in
+    the normal form ``2*i + 3`` / ``i - 1`` / ``7``; anything else
+    (dynamic bounds reading host arrays, symbolic scalars) falls back
+    to verbatim C rendering.
+    """
+    aff = affine_in(e, loop_var)
+    if aff is None:
+        return render_expr(e)
+    off = const_value(aff.offset)
+    if off is None:
+        return render_expr(e)
+    if aff.coeff == 0:
+        return str(off)
+    head = loop_var if aff.coeff == 1 else f"{aff.coeff}*{loop_var}"
+    if off == 0:
+        return head
+    return f"{head} {'+' if off > 0 else '-'} {abs(off)}"
+
+
+def _loop_report(config: LoopConfig) -> LoopReport:
+    audited = audited_windows(config.arrays)
+    rows: list[ArrayReport] = []
+    for name, cfg in sorted(config.arrays.items()):
+        if cfg.read and cfg.written:
+            access = "read+write"
+        else:
+            access = "read" if cfg.read else "write"
+        window = None
+        if cfg.window is not None:
+            window = (f"[{_bound_text(cfg.window.lower, config.loop_var)}, "
+                      f"{_bound_text(cfg.window.upper, config.loop_var)}]")
+        clause = None
+        if (cfg.window_origin == "inferred" and cfg.inferred_span is not None
+                and cfg.placement == Placement.DISTRIBUTED):
+            clause = equivalent_stride_clause(cfg.inferred_span)
+        rows.append(ArrayReport(
+            array=name,
+            placement=cfg.placement.value,
+            origin=cfg.window_origin or "replica-default",
+            access=access,
+            write_handling=cfg.write_handling.value,
+            window=window,
+            stride_clause=clause,
+            bail_reason=cfg.infer_reason,
+            coalesced=cfg.coalesced_hint,
+            audited=name in audited,
+        ))
+    return LoopReport(loop=config.kernel_name, loop_var=config.loop_var,
+                      arrays=tuple(rows))
+
+
+def explain(target: Any,
+            options: CompileOptions | None = None) -> ExplainReport:
+    """Build the placement report for a program.
+
+    ``target`` may be an :class:`repro.AccProgram`, a
+    :class:`CompiledProgram`, or OpenACC C source text (compiled here
+    with ``options``; for Fortran source compile first via
+    ``repro.compile_fortran`` and pass the program).  ``options`` is
+    only consulted for source text -- already-compiled programs carry
+    their own.
+    """
+    if isinstance(target, CompiledProgram):
+        compiled = target
+    elif hasattr(target, "compiled"):  # AccProgram (duck-typed: no cycle)
+        compiled = target.compiled
+    elif isinstance(target, str):
+        compiled = compile_source(target, options)
+    else:
+        raise TypeError(
+            f"explain() wants an AccProgram, CompiledProgram, or source "
+            f"string, not {type(target).__name__}")
+    return ExplainReport(
+        loops=tuple(_loop_report(p.config) for p in compiled.plans))
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.explain
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.explain",
+        description="Report per-loop, per-array placement decisions "
+                    "(declared / inferred / replica) of an OpenACC "
+                    "program.")
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("file", nargs="?", help="OpenACC source file")
+    src.add_argument("--app", metavar="NAME",
+                     help="explain a bundled application instead of a file")
+    ap.add_argument("--fortran", action="store_true",
+                    help="parse the file as OpenACC Fortran")
+    ap.add_argument("--no-infer", action="store_true",
+                    help="disable localaccess inference "
+                         "(paper-faithful manual-annotation behavior)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    ns = ap.parse_args(argv)
+
+    options = CompileOptions(infer=not ns.no_infer)
+    if ns.app is not None:
+        from .apps import ALL_APPS, EXTRA_APPS
+        apps = {**ALL_APPS, **EXTRA_APPS}
+        if ns.app not in apps:
+            ap.error(f"unknown app {ns.app!r}; "
+                     f"choose from {', '.join(sorted(apps))}")
+        source = apps[ns.app].source
+    else:
+        with open(ns.file, encoding="utf-8") as f:
+            source = f.read()
+    if ns.fortran:
+        from .frontend.fortran import parse_fortran
+        from .translator.compiler import compile_program
+        report = explain(compile_program(parse_fortran(source), options))
+    else:
+        report = explain(source, options)
+    print(report.to_json() if ns.json else report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

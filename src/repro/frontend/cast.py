@@ -352,3 +352,45 @@ def all_exprs(s: Stmt) -> Iterator[Expr]:
     for st in walk(s):
         for e in stmt_exprs(st):
             yield from walk_expr(e)
+
+
+def render_expr(e: Expr) -> str:
+    """C source text of an expression, for diagnostics and reports.
+
+    Aimed at human readers (``repro.explain`` window formulas, error
+    messages), not round-tripping: sub-expressions are parenthesized
+    whenever precedence could be ambiguous, and constant folds already
+    applied by earlier passes are rendered as folded.
+    """
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, FloatLit):
+        return repr(e.value)
+    if isinstance(e, Ident):
+        return e.name
+    if isinstance(e, BinOp):
+        lhs, rhs = render_expr(e.left), render_expr(e.right)
+        if isinstance(e.left, (BinOp, Ternary, Assign, CastExpr)):
+            lhs = f"({lhs})"
+        if isinstance(e.right, (BinOp, Ternary, Assign, CastExpr, UnOp)):
+            rhs = f"({rhs})"
+        return f"{lhs} {e.op} {rhs}"
+    if isinstance(e, UnOp):
+        inner = render_expr(e.operand)
+        if not isinstance(e.operand, (IntLit, FloatLit, Ident, Index, Call)):
+            inner = f"({inner})"
+        return f"{e.op}{inner}"
+    if isinstance(e, Ternary):
+        return (f"{render_expr(e.cond)} ? {render_expr(e.then)}"
+                f" : {render_expr(e.other)}")
+    if isinstance(e, Call):
+        return f"{e.func}({', '.join(render_expr(a) for a in e.args)})"
+    if isinstance(e, Index):
+        subs = "".join(f"[{render_expr(i)}]" for i in e.indices)
+        return f"{render_expr(e.array)}{subs}"
+    if isinstance(e, CastExpr):
+        return f"({e.to}){render_expr(e.operand)}"
+    if isinstance(e, Assign):
+        return (f"{render_expr(e.target)} {e.op or ''}="
+                f" {render_expr(e.value)}")
+    raise TypeError(f"cannot render expression node {type(e).__name__}")

@@ -317,10 +317,19 @@ class AccExecutor:
             if not pc.halo_only or cfg.placement != Placement.DISTRIBUTED:
                 return None
             spec = cfg.window.spec if cfg.window is not None else None
-            if spec is None or spec.kind != "stride":
+            if spec is not None:
+                if spec.kind != "stride":
+                    return None
+                stride = (const_value(spec.stride)
+                          if spec.stride is not None else 1)
+            elif (cfg.window is not None and cfg.window.origin == "inferred"
+                    and cfg.inferred_span is not None):
+                # Compiler-inferred windows carry their static span
+                # directly; they qualify for the halo split exactly as a
+                # declared stride form does.
+                stride = cfg.inferred_span[0]
+            else:
                 return None
-            stride = (const_value(spec.stride)
-                      if spec.stride is not None else 1)
             if stride != 1:
                 return None
             ma = self.loader._get(name)

@@ -29,6 +29,35 @@ from .violations import CoherenceViolation
 Spans = dict[str, dict[int, list[int]]]
 
 
+def audited_windows(configs: dict[str, ArrayConfig]) -> dict[str, str]:
+    """Arrays the auditor checks in one loop: name -> window origin.
+
+    Two kinds of active window are audited, with distinct violation
+    kinds so the report names the right culprit:
+
+    * ``"declared"`` -- a user ``localaccess`` directive (other than
+      ``all``, which keeps replica placement and cannot race).  A
+      violation is a *user error* (``localaccess-underdeclared``).
+    * ``"inferred"`` -- a window the inference pass adopted.  A
+      violation is a *compiler bug* (``localaccess-inference-unsound``):
+      inference promised the window covers every access.
+
+    The adaptive advisor's replica demotion candidates
+    (``cfg.inferred_window`` on REPLICA arrays) are not audited: the
+    array is replicated, every GPU holds all of it, and no read can
+    miss.  ``repro.explain`` uses this same predicate to report which
+    placements a sanitized run cross-checks.
+    """
+    out: dict[str, str] = {}
+    for name, cfg in configs.items():
+        if cfg.placement != Placement.DISTRIBUTED or cfg.window is None:
+            continue
+        if cfg.window.spec is not None and cfg.window.spec.kind == "all":
+            continue
+        out[name] = cfg.window.origin
+    return out
+
+
 class LocalAccessAuditor:
     """Records and validates actual access spans per iteration."""
 
@@ -41,18 +70,14 @@ class LocalAccessAuditor:
                  ) -> tuple[Callable[..., None] | None, Spans]:
         """Build the access hook for one loop's shadow run.
 
-        Only arrays with a *user-declared* window are audited
-        (``spec is not None`` -- windows the adaptive advisor inferred
-        are compiler-derived and sound by construction).  Write misses
-        on miss-checked arrays are legal (the runtime replays them), so
-        their writes are exempt; reads never are.
+        Every active distribution window is audited -- user-declared
+        *and* compiler-inferred (see :func:`audited_windows`); a
+        too-narrow inferred window is an inference-pass bug and must
+        surface in sanitized runs, not silently read stale halo.  Write
+        misses on miss-checked arrays are legal (the runtime replays
+        them), so their writes are exempt; reads never are.
         """
-        targets = {
-            name for name, cfg in configs.items()
-            if cfg.placement == Placement.DISTRIBUTED
-            and cfg.window is not None and cfg.window.spec is not None
-            and cfg.window.spec.kind != "all"
-        }
+        targets = set(audited_windows(configs))
         if not targets:
             return None, {}
         miss_exempt = {
@@ -97,6 +122,15 @@ class LocalAccessAuditor:
                 lo = evaluate(window.lower, it)
                 hi = evaluate(window.upper, it)
                 if mn < lo or mx > hi:
+                    if window.origin == "inferred":
+                        raise CoherenceViolation(
+                            "localaccess-inference-unsound", loop=plan.name,
+                            array=name, lo=mn, hi=mx,
+                            detail=(f"iteration {it} accessed [{mn}, {mx}] "
+                                    f"but the compiler-inferred localaccess "
+                                    f"window is [{lo}, {hi}]; this is an "
+                                    "inference-pass bug, not a user error "
+                                    "-- please report it"))
                     raise CoherenceViolation(
                         "localaccess-underdeclared", loop=plan.name,
                         array=name, lo=mn, hi=mx,

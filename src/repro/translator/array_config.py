@@ -59,6 +59,11 @@ class ReadWindow:
     upper: C.Expr
     #: Original directive spec, kept for diagnostics / Table II.
     spec: LocalAccessSpec | None = None
+    #: Who produced this window: ``"declared"`` (a ``localaccess``
+    #: directive) or ``"inferred"`` (the compiler's inference pass,
+    #: :mod:`repro.translator.infer`).  The sanitizer's auditor uses
+    #: this to tell a user under-declaration from a compiler bug.
+    origin: str = "declared"
 
 
 @dataclass
@@ -91,8 +96,14 @@ class ArrayConfig:
     inferred_window: "ReadWindow | None" = None
     #: ``(coeff, lo_offset, hi_offset)`` of the inferred window: every
     #: access of iteration ``i`` falls in
-    #: ``[coeff*i + lo_offset, coeff*i + hi_offset]``.
+    #: ``[coeff*i + lo_offset, coeff*i + hi_offset]``.  Set both for
+    #: windows the inference pass *adopted* (placement is then
+    #: DISTRIBUTED) and for the advisor's replica demotion candidates.
     inferred_span: tuple[int, int, int] | None = None
+    #: Why the inference pass declined this array (None when it adopted
+    #: a window, when the programmer declared one, or when the array is
+    #: not a candidate).  Surfaced by ``repro.explain``.
+    infer_reason: str | None = None
 
     @property
     def read_only(self) -> bool:
@@ -105,6 +116,11 @@ class ArrayConfig:
     @property
     def has_localaccess(self) -> bool:
         return self.window is not None
+
+    @property
+    def window_origin(self) -> str | None:
+        """``"declared"``, ``"inferred"``, or None (no active window)."""
+        return None if self.window is None else self.window.origin
 
 
 @dataclass

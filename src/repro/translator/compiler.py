@@ -48,6 +48,7 @@ from .array_config import (
     WriteHandling,
     window_from_spec,
 )
+from .infer import harmonize_windows, infer_array_window
 from ..vcuda.device import KernelWork
 from .cost import KernelCostInfo
 from .interpreter import KernelInterpreter
@@ -74,6 +75,12 @@ class CompileOptions:
     layout_transform: bool = True
     #: Elide write checks proven inside the localaccess window (IV-D2).
     elide_write_checks: bool = True
+    #: Infer ``localaccess`` windows for unannotated arrays from the
+    #: affine access analysis (:mod:`repro.translator.infer`).  Explicit
+    #: directives always take precedence; set False to reproduce the
+    #: paper's manual-annotation-only behavior (unannotated arrays are
+    #: then always replicated).
+    infer: bool = True
     #: Fail compilation when a loop cannot be vectorized instead of
     #: silently keeping only the interpreter fallback.
     require_vectorized: bool = False
@@ -204,6 +211,7 @@ def compile_program(program: C.Program,
 def _compile_function(func: C.FunctionDef, scope: Scope,
                       compiled: CompiledProgram, options: CompileOptions) -> None:
     counter = 0
+    func_plans: list[KernelPlan] = []
     for stmt in _walk_outside_regions(func.body, compiled):
         par = next((d for d in stmt.directives if isinstance(d, AccParallel)), None)
         if par is None:
@@ -221,8 +229,17 @@ def _compile_function(func: C.FunctionDef, scope: Scope,
                                  scope, options)
             region.plans.append(plan)
             compiled.plans.append(plan)
+            func_plans.append(plan)
             compiled.plans_by_loop[id(loop_stmt)] = plan
         compiled.regions_by_stmt[id(stmt)] = region
+    # Cross-loop window harmonization: widen inferred windows of the
+    # same array to one envelope across the function's loops so the
+    # loader's reload-skip + halo-exchange fast path fires exactly as it
+    # does for hand-aligned annotations.  Windows are evaluated at load
+    # time, never baked into kernel code, so adjusting them after
+    # vectorization is safe (write handling is re-validated inside).
+    if options.infer and len(func_plans) > 1:
+        harmonize_windows([(p.config, p.analysis) for p in func_plans])
 
 
 def _walk_outside_regions(body: C.Stmt, compiled: CompiledProgram):
@@ -405,6 +422,24 @@ def _build_loop_config(name: str, loop_var: str, analysis: LoopAnalysis,
             else:
                 cfg.placement = Placement.DISTRIBUTED
                 cfg.window = window_from_spec(spec, loop_var)
+        elif options.infer:
+            # Automatic localaccess inference: synthesize a window from
+            # the affine access facts for arrays the programmer did not
+            # annotate.  Explicit directives always win (checked above);
+            # a bail keeps replica placement and records the reason for
+            # repro.explain.
+            decision = infer_array_window(
+                usage, loop_var,
+                is_reduction_target=arr_name in reduction_dirs,
+                elide_write_checks=options.elide_write_checks)
+            if decision.adopted:
+                cfg.placement = Placement.DISTRIBUTED
+                cfg.window = decision.window
+                cfg.inferred_span = decision.span
+            else:
+                cfg.infer_reason = decision.reason
+        else:
+            cfg.infer_reason = "inference disabled (infer=False)"
         # Write handling.
         if arr_name in reduction_dirs:
             cfg.write_handling = WriteHandling.REDUCTION
@@ -417,9 +452,13 @@ def _build_loop_config(name: str, loop_var: str, analysis: LoopAnalysis,
                     usage, cfg.window, loop_var)
                 cfg.write_handling = (WriteHandling.LOCAL_PROVEN if proven
                                       else WriteHandling.MISS_CHECK)
-        # Layout-transformation hint (IV-B4): read-only + localaccess +
-        # no data-dependent subscripts (symbolic affine strides qualify).
-        if (options.layout_transform and cfg.read_only and spec is not None
+        # Layout-transformation hint (IV-B4): read-only + a window
+        # (declared or inferred) + no data-dependent subscripts
+        # (symbolic affine strides qualify).  Inferred windows qualify
+        # by construction: adoption requires affine, non-data-dependent
+        # subscripts.
+        if (options.layout_transform and cfg.read_only
+                and cfg.window is not None
                 and not any(a.data_dependent for a in usage.accesses)):
             cfg.coalesced_hint = True
         # Derived window for the adaptive placement advisor: a replica

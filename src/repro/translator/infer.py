@@ -1,0 +1,333 @@
+"""Automatic ``localaccess`` inference (the compiler pass the paper
+leaves to the programmer).
+
+The paper (sections III-C, V) requires every array to be hand-annotated
+with ``localaccess`` before the runtime may use distribution-based
+placement; unannotated arrays silently fall back to whole-array
+replication -- the main scalability cliff of Fig. 7.  JACC
+(Matsumura et al., 2021) shows the access ranges can be derived from
+kernel-level analysis instead.  This pass closes the gap: for each
+parallel loop it synthesizes a per-iteration window
+``[coeff*i + lo, coeff*i + hi]`` from the affine access facts the
+frontend already computes (:mod:`repro.frontend.analysis`), and feeds
+it through :mod:`repro.translator.array_config` exactly as if the
+programmer had written ``stride(coeff, -lo, hi - coeff + 1)``.
+
+The pass is deliberately conservative -- a window that is *too wide*
+only costs extra halo bytes, but a window that is too narrow (or an
+ownership layout that drops a write) is a silent race.  Every bail-out
+is recorded on the :class:`~repro.translator.array_config.ArrayConfig`
+(``infer_reason``) so ``repro.explain`` can report *why* an array
+stayed replicated.  The rules, in the order they are applied:
+
+1.  ``reductiontoarray`` destinations are never inferred (they use the
+    private-copy/merge machinery, not placement windows).
+2.  The window is widened over all *reads*; for write-only arrays it is
+    widened over the writes instead (the declared-window analogue:
+    the hand-annotated stencil declares ``stride(1, 1, 1)`` on its
+    write-only ping-pong array too).
+3.  Every window-source subscript must be 1-D, affine in the parallel
+    loop variable, not data-dependent, with one shared non-negative
+    coefficient and compile-time-constant offsets.  Anything else --
+    ``a[idx[i]]``, ``a[i*i]``, ``a[i]`` mixed with ``a[2*i]``,
+    ``a[i + n]`` -- bails to replica placement with a recorded reason.
+4.  When the array is *also written*, inference only adopts the window
+    if every write is provably safe under the runtime's ownership
+    model: writes must be affine with the same coefficient, constant
+    offsets inside the window, **and** inside the primary ownership
+    block of the writing GPU (see :func:`primary_safe_offsets`) --
+    then the compiler's check elision classifies them
+    ``LOCAL_PROVEN`` and the post-kernel halo refresh cannot clobber
+    a fresh value with a stale one.  Writes that fail this are a bail,
+    never a ``MISS_CHECK``: inference must not make a program slower
+    than the replica default it replaces.
+
+The sanitizer's localaccess auditor double-checks adopted windows at
+run time (``repro.sanitizer.audit``): an inferred window that is too
+narrow raises ``CoherenceViolation('localaccess-inference-unsound')``
+in sanitized runs -- a compiler bug, not a user error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend import cast as C
+from ..frontend.analysis import (
+    ArrayAccess,
+    ArrayUsage,
+    LoopAnalysis,
+    affine_in,
+    const_value,
+)
+from .array_config import LoopConfig, ReadWindow
+
+
+@dataclass(frozen=True)
+class InferenceDecision:
+    """Outcome of inference for one (parallel loop, array) pair."""
+
+    array: str
+    adopted: bool
+    #: ``(coeff, lo, hi)``: every source access of iteration ``i``
+    #: falls in ``[coeff*i + lo, coeff*i + hi]`` (set when adopted).
+    span: tuple[int, int, int] | None = None
+    window: ReadWindow | None = None
+    #: Human-readable bail-out reason (set when not adopted).
+    reason: str | None = None
+    #: Which accesses the window was widened over.
+    source: str = "reads"  # 'reads' | 'writes'
+
+
+def affine_bound_expr(coeff: int, offset: int, loop_var: str) -> C.Expr:
+    """Minimal AST for ``coeff*i + offset`` (renders cleanly)."""
+    if coeff == 0:
+        return C.IntLit(offset)
+    term: C.Expr = C.Ident(loop_var)
+    if coeff != 1:
+        term = C.BinOp("*", C.IntLit(coeff), term)
+    if offset == 0:
+        return term
+    if offset < 0:
+        return C.BinOp("-", term, C.IntLit(-offset))
+    return C.BinOp("+", term, C.IntLit(offset))
+
+
+def window_from_span(span: tuple[int, int, int], loop_var: str) -> ReadWindow:
+    """Lower an inferred span to the loader's inclusive window form."""
+    coeff, lo, hi = span
+    return ReadWindow(
+        lower=affine_bound_expr(coeff, lo, loop_var),
+        upper=affine_bound_expr(coeff, hi, loop_var),
+        spec=None,
+        origin="inferred",
+    )
+
+
+def primary_safe_offsets(coeff: int, lo: int, hi: int) -> tuple[int, int]:
+    """Write offsets guaranteed to land in the writer's primary block.
+
+    With per-iteration window ``[coeff*i + lo, coeff*i + hi]`` over a
+    contiguous task slice ``[t0, t1)``, the runtime loads the block
+    ``[coeff*t0 + lo, coeff*(t1-1) + hi + 1)`` and assigns ownership by
+    the midpoint of consecutive windows' overlap
+    (:func:`repro.runtime.partition.primary_blocks`): the cut between
+    GPU ``g`` and ``g+1`` sits at ``coeff*t1 + d`` with
+    ``d = (hi + lo + 2 - coeff) // 2``.  A write at offset ``b`` stays
+    inside the writing GPU's primary block for *every* split exactly
+    when ``d <= b <= coeff + d - 1``; outside that band a boundary
+    iteration writes an element some other GPU owns, and the
+    post-kernel halo refresh would overwrite the fresh value with the
+    owner's stale copy.  Returns the inclusive safe band ``(d,
+    coeff + d - 1)``.
+    """
+    d = (hi + lo + 2 - coeff) // 2
+    return d, coeff + d - 1
+
+
+def _span_of(accesses: list[ArrayAccess],
+             what: str) -> tuple[tuple[int, int, int] | None, str | None]:
+    """Shared-coefficient constant-offset envelope of ``accesses``."""
+    coeff: int | None = None
+    lo: int | None = None
+    hi: int | None = None
+    for acc in accesses:
+        where = f"line {acc.line}" if acc.line else "unknown line"
+        if len(acc.indices) > 1:
+            return None, f"multi-dimensional {what} subscript ({where})"
+        if acc.data_dependent:
+            return None, f"data-dependent {what} subscript ({where})"
+        if acc.affine is None:
+            return None, (f"non-affine {what} subscript in the parallel "
+                          f"loop variable ({where})")
+        if coeff is None:
+            coeff = acc.affine.coeff
+        elif acc.affine.coeff != coeff:
+            return None, (f"mixed {what} strides "
+                          f"{coeff} and {acc.affine.coeff} ({where})")
+        b = const_value(acc.affine.offset)
+        if b is None:
+            return None, f"symbolic {what} subscript offset ({where})"
+        lo = b if lo is None else min(lo, b)
+        hi = b if hi is None else max(hi, b)
+    if coeff is None or lo is None or hi is None:
+        return None, f"no {what} accesses to widen over"
+    if coeff < 0:
+        return None, (f"negative {what} stride {coeff} "
+                      "(window would not be monotone)")
+    return (coeff, lo, hi), None
+
+
+def infer_array_window(usage: ArrayUsage, loop_var: str, *,
+                       is_reduction_target: bool = False,
+                       elide_write_checks: bool = True) -> InferenceDecision:
+    """Synthesize a ``localaccess``-equivalent window for one array.
+
+    Returns an adopted :class:`InferenceDecision` carrying the window
+    and span, or a bail decision carrying the reason replica placement
+    was kept.  Adoption guarantees by construction that (a) every read
+    of iteration ``i`` falls inside the window, and (b) every write is
+    classified ``LOCAL_PROVEN`` by the compiler's check elision *and*
+    lands in the writing GPU's primary ownership block.
+    """
+    name = usage.name
+
+    def bail(reason: str) -> InferenceDecision:
+        return InferenceDecision(array=name, adopted=False, reason=reason)
+
+    if is_reduction_target:
+        return bail("reductiontoarray destination (merged, not placed)")
+
+    reads = [a for a in usage.accesses if a.is_read]
+    writes = [a for a in usage.accesses if a.is_write]
+    source = "reads" if reads else "writes"
+    span, reason = _span_of(reads if reads else writes, source[:-1])
+    if span is None:
+        assert reason is not None
+        return bail(reason)
+    coeff, lo, hi = span
+
+    if writes:
+        if coeff == 0:
+            return bail("constant window on a written array "
+                        "(cross-GPU write race under distribution)")
+        if not elide_write_checks:
+            return bail("write-check elision disabled "
+                        "(writes would need miss checks)")
+        safe_lo, safe_hi = primary_safe_offsets(coeff, lo, hi)
+        for acc in writes:
+            where = f"line {acc.line}" if acc.line else "unknown line"
+            if len(acc.indices) > 1:
+                return bail(f"multi-dimensional write subscript ({where})")
+            if acc.data_dependent:
+                return bail(f"data-dependent write subscript ({where})")
+            if acc.affine is None:
+                return bail("non-affine write subscript in the parallel "
+                            f"loop variable ({where})")
+            if acc.affine.coeff != coeff:
+                return bail(f"write stride {acc.affine.coeff} differs from "
+                            f"window stride {coeff} ({where})")
+            b = const_value(acc.affine.offset)
+            if b is None:
+                return bail(f"symbolic write subscript offset ({where})")
+            if not (lo <= b <= hi):
+                return bail(f"write offset {b} outside the inferred read "
+                            f"window [{lo}, {hi}] ({where})")
+            if not (safe_lo <= b <= safe_hi):
+                return bail(f"write offset {b} outside the primary-safe "
+                            f"band [{safe_lo}, {safe_hi}] ({where}): a "
+                            "boundary iteration would write an element "
+                            "another GPU owns")
+
+    return InferenceDecision(
+        array=name,
+        adopted=True,
+        span=span,
+        window=window_from_span(span, loop_var),
+        source=source,
+    )
+
+
+def static_window_span(window: ReadWindow,
+                       loop_var: str) -> tuple[int, int, int] | None:
+    """Constant affine span ``(coeff, lo, hi)`` of a window, or None.
+
+    Declared windows whose bounds are affine in the loop variable with
+    one shared coefficient and constant offsets (the ``stride``/
+    ``range`` forms with literal arguments) are statically comparable
+    to inferred spans; ``bounds`` forms reading host arrays are not.
+    """
+    lo_aff = affine_in(window.lower, loop_var)
+    hi_aff = affine_in(window.upper, loop_var)
+    if lo_aff is None or hi_aff is None or lo_aff.coeff != hi_aff.coeff:
+        return None
+    lo_c = const_value(lo_aff.offset)
+    hi_c = const_value(hi_aff.offset)
+    if lo_c is None or hi_c is None:
+        return None
+    return lo_aff.coeff, lo_c, hi_c
+
+
+def harmonize_windows(loops: list[tuple[LoopConfig, LoopAnalysis]]) -> None:
+    """Widen inferred windows to one per-array envelope across loops.
+
+    Per-loop inference gives each loop the tightest window, but the
+    data loader's reload-skip fast path only fires when consecutive
+    loops request the *same* blocks: a stencil whose first sweep reads
+    ``a`` through ``[i-1, i+1]`` and whose second sweep writes ``a``
+    through ``[i, i]`` would writeback + reload every sweep where the
+    hand annotation (the same ``stride(1, 1, 1)`` in both sweeps)
+    halo-exchanges a few bytes.  This pass aligns them: for every array
+    whose windows across the function's loops share one coefficient
+    and are all statically spanned, the *inferred* windows are widened
+    to the envelope (declared windows are never touched), provided
+    every write stays inside the widened window's primary-safe band.
+    Widening is always read-safe; on any doubt the per-loop windows are
+    kept.
+    """
+    by_name: dict[str, list[tuple[LoopConfig, LoopAnalysis]]] = {}
+    for lc, la in loops:
+        for name in lc.arrays:
+            by_name.setdefault(name, []).append((lc, la))
+    for name, entries in by_name.items():
+        inferred = [(lc, la) for lc, la in entries
+                    if lc.arrays[name].window_origin == "inferred"]
+        if not inferred:
+            continue
+        spans: list[tuple[int, int, int]] = []
+        alignable = True
+        for lc, la in entries:
+            cfg = lc.arrays[name]
+            if cfg.window is None:
+                continue  # replica loops reload anyway; no constraint
+            if cfg.window.origin == "inferred":
+                assert cfg.inferred_span is not None
+                spans.append(cfg.inferred_span)
+            else:
+                span = static_window_span(cfg.window, lc.loop_var)
+                if span is None:
+                    # Dynamic declared window (CSR bounds form): no
+                    # static envelope exists; keep per-loop windows.
+                    alignable = False
+                    break
+                spans.append(span)
+        if not alignable or len({s[0] for s in spans}) != 1:
+            continue
+        coeff = spans[0][0]
+        env = (coeff, min(s[1] for s in spans), max(s[2] for s in spans))
+        if all(lc.arrays[name].inferred_span == env for lc, la in inferred):
+            continue  # already aligned
+        # Widening moves the ownership midpoints: re-validate every
+        # write in the inferred loops against the widened band.
+        safe_lo, safe_hi = primary_safe_offsets(*env)
+        safe = True
+        for lc, la in inferred:
+            for acc in la.arrays[name].write_accesses():
+                assert acc.affine is not None
+                b = const_value(acc.affine.offset)
+                assert b is not None  # adoption proved it constant
+                if not (env[1] <= b <= env[2] and safe_lo <= b <= safe_hi):
+                    safe = False
+                    break
+            if not safe:
+                break
+        if not safe:
+            continue
+        for lc, la in inferred:
+            cfg = lc.arrays[name]
+            cfg.window = window_from_span(env, lc.loop_var)
+            cfg.inferred_span = env
+
+
+def equivalent_stride_clause(span: tuple[int, int, int]) -> str | None:
+    """Render a span as the paper's ``stride(s, l, r)`` clause, if any.
+
+    ``stride(s, l, r)`` declares ``[s*i - l, s*(i+1) - 1 + r]``; a span
+    ``(coeff, lo, hi)`` with ``coeff >= 1`` is exactly
+    ``stride(coeff, -lo, hi - coeff + 1)``.  Constant windows
+    (``coeff == 0``) have no stride form (they are ``range`` windows).
+    """
+    coeff, lo, hi = span
+    if coeff < 1:
+        return None
+    return f"stride({coeff}, {-lo}, {hi - coeff + 1})"

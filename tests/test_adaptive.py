@@ -466,7 +466,11 @@ class TestAdaptiveParity:
         spec.check(args, inputs)
 
     def test_relax_demotes_and_stays_bit_identical(self):
-        prog = repro.compile(RELAX_SRC)
+        # infer=False: localaccess inference would distribute a/b at
+        # compile time, leaving the balancer no replica to demote --
+        # this test covers the runtime demotion path specifically.
+        prog = repro.compile(RELAX_SRC,
+                             repro.CompileOptions(infer=False))
         outs = {}
         runs = {}
         for adaptive in (False, True):
@@ -488,7 +492,9 @@ class TestAdaptiveParity:
         # A placement switch mid-run exercises the invalidated reload-
         # skip path and the windowed-propagation coherence machinery;
         # the sanitizer must find nothing to complain about.
-        prog = repro.compile(RELAX_SRC)
+        # (infer=False so a/b start replicated -- see the parity test.)
+        prog = repro.compile(RELAX_SRC,
+                             repro.CompileOptions(infer=False))
         args = relax_args(n=200_000, iters=12)
         run = prog.run("relax", args, machine="desktop", ngpus=2,
                        adaptive=True, sanitize=True)

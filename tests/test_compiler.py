@@ -101,15 +101,21 @@ class TestPlacementDecisions:
         assert plan.config.arrays["x"].has_localaccess
 
     def test_no_localaccess_gives_replica(self):
+        # Without annotation (and with inference off) arrays replicate;
+        # the default pipeline instead infers an equivalent window for
+        # this affine loop and distributes (see tests/test_infer.py).
         src = """
         void k(int n, float *x, float *y) {
           #pragma acc parallel loop
           for (int i = 0; i < n; i++) { y[i] = x[i]; }
         }
         """
-        plan = plan_of(src)
+        plan = plan_of(src, infer=False)
         assert plan.config.arrays["x"].placement == Placement.REPLICA
         assert not plan.config.arrays["x"].has_localaccess
+        inferred = plan_of(src).config.arrays["x"]
+        assert inferred.placement == Placement.DISTRIBUTED
+        assert inferred.window_origin == "inferred"
 
     def test_all_spec_is_replica_but_counts_as_localaccess(self):
         src = """

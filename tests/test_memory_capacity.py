@@ -74,13 +74,24 @@ class TestCapacityBenefit:
         assert per_gpu <= (self.N * 4 * 2) // 2
 
     def test_replication_does_not_gain_capacity(self):
-        # Without localaccess the arrays replicate: adding GPUs does NOT
-        # help capacity -- the contrast that motivates distribution.
+        # Without localaccess (and with inference off) the arrays
+        # replicate: adding GPUs does NOT help capacity -- the contrast
+        # that motivates distribution.
         machine = tiny_machine(24 << 10)
-        prog = repro.compile(REPLICATED_SRC)
+        prog = repro.compile(REPLICATED_SRC,
+                             repro.CompileOptions(infer=False))
         for g in (1, 2, 3):
             with pytest.raises(OutOfDeviceMemory):
                 prog.run("scale", self.args(), machine=machine, ngpus=g)
+
+    def test_inference_rescues_the_unannotated_program(self):
+        # The default pipeline infers stride(1) windows for the same
+        # unannotated source, so it regains the capacity benefit.
+        machine = tiny_machine(24 << 10)
+        prog = repro.compile(REPLICATED_SRC)
+        args = self.args()
+        prog.run("scale", args, machine=machine, ngpus=2)
+        assert (args["y"] == 2.0).all()
 
     def test_three_gpus_fit_even_less_per_device(self):
         machine = tiny_machine(15 << 10)  # 15 KiB per GPU

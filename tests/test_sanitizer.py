@@ -164,13 +164,21 @@ class TestLocalAccessAudit:
 
 
 class TestFaultInjection:
-    """Seeded runtime bugs must be caught, with the right diagnosis."""
+    """Seeded runtime bugs must be caught, with the right diagnosis.
+
+    The seeded bugs live in the replica-propagation machinery, so STEP
+    compiles with infer=False here -- by default localaccess inference
+    would distribute its arrays and never take the broken paths.
+    """
+
+    NO_INFER = repro.CompileOptions(infer=False)
 
     def test_unmarked_write_caught(self, monkeypatch):
         monkeypatch.setattr(TwoLevelDirty, "mark",
                             lambda self, idx: None)
         with pytest.raises(CoherenceViolation) as exc:
-            run_source(STEP, step_args(), ngpus=2, sanitize=True)
+            run_source(STEP, step_args(), ngpus=2, sanitize=True,
+                       options=self.NO_INFER)
         e = exc.value
         assert e.kind == "dirty-unmarked"
         assert e.array == "y"
@@ -182,7 +190,8 @@ class TestFaultInjection:
             comm_mod.CommunicationManager, "_propagate_replica",
             lambda self, ma: None)
         with pytest.raises(CoherenceViolation) as exc:
-            run_source(STEP, step_args(), ngpus=2, sanitize=True)
+            run_source(STEP, step_args(), ngpus=2, sanitize=True,
+                       options=self.NO_INFER)
         assert exc.value.kind == "dirty-uncleared"
 
     def test_dataless_propagation_caught(self, monkeypatch):
@@ -196,7 +205,8 @@ class TestFaultInjection:
         monkeypatch.setattr(
             comm_mod.CommunicationManager, "_propagate_replica", hollow)
         with pytest.raises(CoherenceViolation) as exc:
-            run_source(STEP, step_args(), ngpus=2, sanitize=True)
+            run_source(STEP, step_args(), ngpus=2, sanitize=True,
+                       options=self.NO_INFER)
         assert exc.value.kind in ("replica-divergence", "result-divergence")
         assert exc.value.array == "y"
         assert exc.value.gpu is not None
