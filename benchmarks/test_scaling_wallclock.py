@@ -1,0 +1,113 @@
+"""Wall-clock perf gate: the raw-speed pass must stay fast.
+
+Unlike every figure benchmark (which measures *modeled* seconds on the
+virtual machine), this suite measures real host-side seconds, in two
+layers:
+
+* the checked-in ``BENCH_scaling.json`` artifact -- the apps x sizes x
+  1/2/4/8-GPU sweep regenerated with ``python -m repro.bench scaling``
+  -- is validated for schema, internal consistency, and the raw-speed
+  pass's headline claim: at the largest measured size, at least two
+  dirty/communication-bound apps run >= 3x faster with the fast paths
+  on than off;
+* a live self-relative gate re-measures two apps here and now.  The
+  threshold is deliberately below the recorded speedups (CI hardware
+  varies; the on/off *ratio* is machine-independent, its noise floor
+  is not) -- it fails when a change makes the fast paths stop paying
+  for themselves, not when a runner is slow.
+
+``fastpath=False`` runs the reference implementations and is
+bit-identical in results and modeled time (the determinism matrix pins
+that), so every ratio here is pure host-speed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import scaling
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+
+#: The artifact's headline requirement.
+ARTIFACT_SPEEDUP_FLOOR = 3.0
+ARTIFACT_APPS_AT_FLOOR = 2
+
+#: Live-gate floor: well under the recorded ~3-7x so only a genuine
+#: fast-path regression (not scheduler noise) trips it.
+LIVE_SPEEDUP_FLOOR = 1.5
+LIVE_N = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    assert ARTIFACT.is_file(), (
+        f"{ARTIFACT.name} missing; regenerate with "
+        "'python -m repro.bench scaling --out BENCH_scaling.json'")
+    with open(ARTIFACT) as f:
+        return json.load(f)
+
+
+class TestArtifact:
+    def test_schema(self, artifact):
+        assert artifact["schema"] == scaling.SCHEMA
+        assert artifact["gpu_counts"] == sorted(scaling.GPU_COUNTS)
+        # Full matrix: every configured app x size x GPU count.
+        expect = {(app, n, g)
+                  for app, case in scaling.CASES.items()
+                  for n in case["sizes"] for g in scaling.GPU_COUNTS}
+        got = {(p["app"], p["n"], p["ngpus"]) for p in artifact["points"]}
+        assert got == expect
+
+    def test_points_consistent(self, artifact):
+        for p in artifact["points"]:
+            assert p["seconds_before"] > 0 and p["seconds_after"] > 0
+            assert p["speedup"] == pytest.approx(
+                p["seconds_before"] / p["seconds_after"])
+            assert p["throughput_after"] == pytest.approx(
+                p["n"] / p["seconds_after"])
+            assert p["throughput_before"] == pytest.approx(
+                p["n"] / p["seconds_before"])
+
+    def test_summary_matches_points(self, artifact):
+        rebuilt = {}
+        for p in artifact["points"]:
+            cur = rebuilt.setdefault(p["app"], {"n": 0})
+            cur["n"] = max(cur["n"], p["n"])
+        for app, s in artifact["speedup_at_largest_size"].items():
+            at_max = [p["speedup"] for p in artifact["points"]
+                      if p["app"] == app and p["n"] == s["n"]]
+            assert s["n"] == rebuilt[app]["n"]
+            assert s["max_speedup"] == pytest.approx(max(at_max))
+            assert s["min_speedup"] == pytest.approx(min(at_max))
+
+    def test_speedup_target(self, artifact):
+        """The headline: >= 3x on >= 2 apps at the largest size."""
+        summary = artifact["speedup_at_largest_size"]
+        fast_enough = [app for app, s in summary.items()
+                       if s["max_speedup"] >= ARTIFACT_SPEEDUP_FLOOR]
+        assert len(fast_enough) >= ARTIFACT_APPS_AT_FLOOR, (
+            f"only {fast_enough} reach {ARTIFACT_SPEEDUP_FLOOR}x at the "
+            f"largest size: {summary}")
+
+
+class TestLiveGate:
+    @pytest.mark.parametrize("app", ["jacobi", "stencil"])
+    def test_fastpath_pays(self, app, bench_once):
+        """Self-relative wall-clock gate, measured on this machine."""
+        point = bench_once(scaling.measure_point, app, LIVE_N, 2, 2)
+        print(f"\n{app} n={LIVE_N} ngpus=2: {point.seconds_before:.3f}s -> "
+              f"{point.seconds_after:.3f}s ({point.speedup:.2f}x)")
+        assert point.speedup >= LIVE_SPEEDUP_FLOOR, (
+            f"{app}: fast paths only {point.speedup:.2f}x faster than the "
+            f"reference path (floor {LIVE_SPEEDUP_FLOOR}x)")
+
+    def test_all_gpu_counts_run(self, bench_once):
+        """The full GPU-count axis stays runnable (smallest size)."""
+        points = bench_once(
+            scaling.sweep, apps=["stencil"], sizes=(1 << 16,),
+            gpu_counts=scaling.GPU_COUNTS)
+        assert {p.ngpus for p in points} == set(scaling.GPU_COUNTS)
+        for p in points:
+            assert p.seconds_after > 0

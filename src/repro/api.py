@@ -162,6 +162,7 @@ class AccProgram:
         adaptive: bool = False,
         sanitize: bool | None = None,
         trace: bool | None = None,
+        fastpath: bool = True,
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
@@ -193,6 +194,14 @@ class AccProgram:
         modeled times and result arrays are bit-identical with tracing
         on or off.  The recorded :class:`repro.trace.Tracer` is on
         :attr:`ProgramRun.tracer`.
+
+        ``fastpath=False`` disables the runtime's wall-clock fast paths
+        (packed dirty bitsets, span codegen branches, launch-context
+        caching, batched miss replay) and runs the straightforward
+        reference implementations instead.  Purely a host-side speed
+        knob: results, modeled time and transfer bytes are bit-identical
+        either way (the determinism matrix pins this); the wall-clock
+        benchmarks use it as the "before" baseline.
         """
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
@@ -202,7 +211,7 @@ class AccProgram:
         platform = Platform(spec, ngpus)
         loader = DataLoader(platform, chunk_bytes=chunk_bytes,
                             reload_skipping=reload_skipping,
-                            migrate_deltas=adaptive)
+                            migrate_deltas=adaptive, fastpath=fastpath)
         sanitizer = None
         if sanitize:
             from .sanitizer import Sanitizer
@@ -219,7 +228,7 @@ class AccProgram:
                                tree_reduction=tree_reduction,
                                overlap=overlap, coalesce=coalesce,
                                adaptive=adaptive, sanitizer=sanitizer,
-                               tracer=tracer)
+                               tracer=tracer, fastpath=fastpath)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(

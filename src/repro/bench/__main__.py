@@ -1,8 +1,17 @@
-"""Print every regenerated table and figure: ``python -m repro.bench``.
+"""Benchmark CLI: ``python -m repro.bench [mode]``.
 
-Options:
+Modes:
+    paper     (default) print every regenerated paper table and figure
+    scaling   run the wall-clock scaling sweep and write its artifact
+
+Paper options:
     --workload {tiny,test,bench}   input scale (default: bench)
     --machine {desktop,supercomputer,both}
+
+Scaling options:
+    --out PATH        write BENCH_scaling.json-style artifact here
+    --repeats N       best-of-N timing per configuration (default: 1)
+    --quick           smallest sizes and 1/2 GPUs only (smoke run)
 """
 
 from __future__ import annotations
@@ -19,14 +28,7 @@ from .report import (
 )
 
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(prog="python -m repro.bench",
-                                 description=__doc__)
-    ap.add_argument("--workload", default="bench",
-                    choices=["tiny", "test", "bench"])
-    ap.add_argument("--machine", default="both",
-                    choices=["desktop", "supercomputer", "both"])
-    args = ap.parse_args(argv)
+def _paper(args) -> int:
     machines = (["desktop", "supercomputer"] if args.machine == "both"
                 else [args.machine])
 
@@ -41,6 +43,50 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_fig9(fig9(m, workload=args.workload), f"Fig. 9 ({m})"))
     return 0
+
+
+def _scaling(args) -> int:
+    from . import scaling
+
+    gpu_counts = (1, 2) if args.quick else scaling.GPU_COUNTS
+    sizes = ((min(min(c["sizes"]) for c in scaling.CASES.values()),)
+             if args.quick else None)
+
+    def progress(p):
+        print(f"  {p.app} n={p.n} ngpus={p.ngpus}: "
+              f"{p.seconds_before:.3f}s -> {p.seconds_after:.3f}s "
+              f"({p.speedup:.2f}x)", flush=True)
+
+    points = scaling.sweep(gpu_counts=gpu_counts, repeats=args.repeats,
+                           sizes=sizes, progress=progress)
+    print()
+    print(scaling.render(points))
+    if args.out:
+        art = scaling.write_artifact(args.out, points)
+        print(f"\nwrote {args.out} "
+              f"({len(art['points'])} points)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro.bench",
+                                 description=__doc__)
+    ap.add_argument("mode", nargs="?", default="paper",
+                    choices=["paper", "scaling"])
+    ap.add_argument("--workload", default="bench",
+                    choices=["tiny", "test", "bench"])
+    ap.add_argument("--machine", default="both",
+                    choices=["desktop", "supercomputer", "both"])
+    ap.add_argument("--out", default=None,
+                    help="scaling: artifact output path")
+    ap.add_argument("--repeats", type=int, default=1,
+                    help="scaling: best-of-N timing")
+    ap.add_argument("--quick", action="store_true",
+                    help="scaling: smallest sizes, 1/2 GPUs only")
+    args = ap.parse_args(argv)
+    if args.mode == "scaling":
+        return _scaling(args)
+    return _paper(args)
 
 
 if __name__ == "__main__":

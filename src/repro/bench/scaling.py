@@ -1,0 +1,184 @@
+"""Wall-clock scaling benchmark: real seconds, not modeled time.
+
+Every other benchmark in this package regenerates a figure of the
+*paper* in modeled (virtual) seconds.  This module instead measures how
+long the simulator itself takes to run -- host-side Python wall-clock
+-- and how much the runtime's fast paths (packed dirty bitsets, span
+codegen branches, launch-context caching, batched miss replay; see
+``docs/PERFORMANCE.md``) buy at realistic array sizes.
+
+Each measurement runs one app twice per configuration: once with
+``fastpath=False`` (the straightforward reference implementations, the
+"before" of the raw-speed pass) and once with the default
+``fastpath=True``.  Results, modeled time and transfer bytes are
+bit-identical between the two (the determinism matrix pins this), so
+the ratio is a pure host-speed speedup.
+
+The checked-in ``BENCH_scaling.json`` at the repository root is this
+module's artifact; regenerate it with::
+
+    python -m repro.bench scaling --out BENCH_scaling.json
+
+``benchmarks/test_scaling_wallclock.py`` gates regressions on it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from .. import api
+from ..apps import ALL_APPS, EXTRA_APPS
+from ..vcuda.specs import MACHINES, MachineSpec
+from .machines import hypothetical_node
+
+APPS = {**ALL_APPS, **EXTRA_APPS}
+
+#: Apps whose hot loops are dirty/communication-bound, one entry per
+#: benchmarked app: the size parameter name, the non-size arguments
+#: (iteration counts kept small -- throughput per sweep is what
+#: matters, not convergence), and the element counts swept.  ``jacobi``
+#: and ``stencil`` exercise the span load/store and dirty-span paths
+#: (halo exchange every sweep); ``shift_scale`` is write-miss bound and
+#: exercises the batched replay path.
+CASES: dict[str, dict[str, Any]] = {
+    "jacobi": {"param": "n", "fixed": {"maxiter": 8},
+               "sizes": (1 << 16, 1 << 19, 1 << 22)},
+    "stencil": {"param": "n", "fixed": {"steps": 4},
+                "sizes": (1 << 16, 1 << 19, 1 << 22)},
+    "shift_scale": {"param": "n", "fixed": {},
+                    "sizes": (1 << 16, 1 << 19, 1 << 22)},
+}
+
+GPU_COUNTS = (1, 2, 4, 8)
+
+#: Artifact schema identifier (bump when the JSON layout changes).
+SCHEMA = "repro-scaling/1"
+
+
+def machine_for(ngpus: int) -> MachineSpec:
+    """Desktop while it has enough GPUs, else a hypothetical node."""
+    spec = MACHINES["desktop"]
+    return spec if ngpus <= spec.gpu_count else hypothetical_node(ngpus)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (app, size, GPU count) wall-clock measurement pair."""
+
+    app: str
+    n: int
+    ngpus: int
+    #: Best-of-``repeats`` real seconds with fastpath off / on.
+    seconds_before: float
+    seconds_after: float
+
+    @property
+    def speedup(self) -> float:
+        return self.seconds_before / self.seconds_after
+
+    @property
+    def throughput_before(self) -> float:
+        """Elements processed per real second, fast paths off."""
+        return self.n / self.seconds_before
+
+    @property
+    def throughput_after(self) -> float:
+        return self.n / self.seconds_after
+
+
+def measure_seconds(app: str, n: int, ngpus: int, fastpath: bool,
+                    repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one configuration.
+
+    Compilation happens outside the timed region (the artifact tracks
+    runtime speed; translator speed is a separate concern), argument
+    construction too.  Fresh arguments per repeat: apps mutate their
+    arrays in place.
+    """
+    case = CASES[app]
+    spec = APPS[app]
+    prog = api.compile(spec.source)
+    machine = machine_for(ngpus)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        args = spec.make_args(**{case["param"]: n}, **case["fixed"])
+        t0 = time.perf_counter()
+        prog.run(spec.entry, args, machine=machine, ngpus=ngpus,
+                 fastpath=fastpath)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_point(app: str, n: int, ngpus: int,
+                  repeats: int = 1) -> ScalingPoint:
+    return ScalingPoint(
+        app=app, n=n, ngpus=ngpus,
+        seconds_before=measure_seconds(app, n, ngpus, False, repeats),
+        seconds_after=measure_seconds(app, n, ngpus, True, repeats),
+    )
+
+
+def sweep(apps: list[str] | None = None,
+          gpu_counts: tuple[int, ...] = GPU_COUNTS,
+          repeats: int = 1,
+          sizes: tuple[int, ...] | None = None,
+          progress: Any = None) -> list[ScalingPoint]:
+    """The full apps x sizes x GPU-counts wall-clock sweep."""
+    points = []
+    for app in (apps or list(CASES)):
+        for n in (sizes or CASES[app]["sizes"]):
+            for g in gpu_counts:
+                p = measure_point(app, n, g, repeats)
+                if progress is not None:
+                    progress(p)
+                points.append(p)
+    return points
+
+
+def artifact(points: list[ScalingPoint]) -> dict:
+    """JSON-able artifact with per-point and largest-size summaries."""
+    largest: dict[str, int] = {}
+    for p in points:
+        largest[p.app] = max(largest.get(p.app, 0), p.n)
+    summary = {}
+    for app, n_max in sorted(largest.items()):
+        at_max = [p for p in points if p.app == app and p.n == n_max]
+        summary[app] = {
+            "n": n_max,
+            "min_speedup": min(p.speedup for p in at_max),
+            "max_speedup": max(p.speedup for p in at_max),
+        }
+    return {
+        "schema": SCHEMA,
+        "gpu_counts": sorted({p.ngpus for p in points}),
+        "speedup_at_largest_size": summary,
+        "points": [
+            {**asdict(p),
+             "speedup": p.speedup,
+             "throughput_before": p.throughput_before,
+             "throughput_after": p.throughput_after}
+            for p in points
+        ],
+    }
+
+
+def render(points: list[ScalingPoint]) -> str:
+    """Text table of the sweep (one row per point)."""
+    lines = [f"{'app':12s} {'n':>9s} {'gpus':>4s} "
+             f"{'before[s]':>10s} {'after[s]':>10s} {'speedup':>8s}"]
+    for p in points:
+        lines.append(f"{p.app:12s} {p.n:9d} {p.ngpus:4d} "
+                     f"{p.seconds_before:10.3f} {p.seconds_after:10.3f} "
+                     f"{p.speedup:7.2f}x")
+    return "\n".join(lines)
+
+
+def write_artifact(path: str, points: list[ScalingPoint]) -> dict:
+    art = artifact(points)
+    with open(path, "w") as f:
+        json.dump(art, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return art

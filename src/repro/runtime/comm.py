@@ -57,7 +57,7 @@ from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..vcuda.api import Platform
 from ..vcuda.bus import Bus, CATEGORY_GPU_GPU, Transfer
 from ..vcuda.stream import Event, Stream
-from .data_loader import DataLoader, ManagedArray
+from .data_loader import DataLoader, ManagedArray, _uniform_signature
 from .partition import owner_of
 from .writemiss import RECORD_BYTES
 
@@ -93,9 +93,15 @@ class CommunicationManager:
                  tree_reduction: bool = True,
                  overlap: bool = False,
                  coalesce: bool = False,
-                 tracer: Any | None = None) -> None:
+                 tracer: Any | None = None,
+                 fastpath: bool = True) -> None:
         self.platform = platform
         self.loader = loader
+        #: Wall-clock fast paths (slice-based dirty propagation, batched
+        #: miss replay).  Pure host-side implementation detail: modeled
+        #: time, transfer bytes and array contents are bit-identical
+        #: either way -- the determinism matrix pins that.
+        self.fastpath = fastpath
         #: Opt-in tracer: transfers issued inside a :meth:`_tag` block
         #: carry the coherence mechanism and array that produced them.
         self.tracer = tracer
@@ -326,9 +332,17 @@ class CommunicationManager:
             tracker = ma.dirty[g]
             if tracker is None or not tracker.any_dirty:
                 continue
-            idx = tracker.dirty_elements()
             buf = ma.buffers[g]
             assert buf is not None
+            # Contiguous-writes fast path: when the tracker proves the
+            # dirty set is one interval, gather/scatter with a slice
+            # instead of an index vector -- the same elements, the same
+            # values, no index array.
+            sl = tracker.dirty_slice() if self.fastpath else None
+            if sl is not None:
+                idx: Any = slice(sl[0], sl[1])
+            else:
+                idx = tracker.dirty_elements()
             vals = buf.data[idx].copy()
             # One DMA per dirty chunk (the sender scans only the
             # second-level bits, so the transfer unit is the chunk): the
@@ -420,19 +434,34 @@ class CommunicationManager:
             tracker = ma.dirty[g]
             if tracker is None or not tracker.any_dirty:
                 continue
-            idx = tracker.dirty_elements()
             buf = ma.buffers[g]
             assert buf is not None
-            vals = buf.data[idx - ma.blocks[g].lo].copy()
+            # Contiguous-writes fast path: a dense dirty interval
+            # intersects each target block as an interval, so both the
+            # gather and the scatter become slice copies.
+            sl = tracker.dirty_slice() if self.fastpath else None
+            if sl is None:
+                idx = tracker.dirty_elements()
+                vals = buf.data[idx - ma.blocks[g].lo].copy()
             for t in range(ngpus):
                 if t == g or ma.buffers[t] is None:
                     continue
                 tb = ma.blocks[t]
-                sel = (idx >= tb.lo) & (idx < tb.hi)
-                n = int(sel.sum())
-                if n == 0:
-                    continue
-                ma.buffers[t].data[idx[sel] - tb.lo] = vals[sel]
+                if sl is not None:
+                    ov_lo = max(sl[0], tb.lo)
+                    ov_hi = min(sl[1], tb.hi)
+                    n = max(0, ov_hi - ov_lo)
+                    if n == 0:
+                        continue
+                    slo = ov_lo - ma.blocks[g].lo
+                    ma.buffers[t].data[ov_lo - tb.lo:ov_hi - tb.lo] = \
+                        buf.data[slo:slo + n]
+                else:
+                    sel = (idx >= tb.lo) & (idx < tb.hi)
+                    n = int(sel.sum())
+                    if n == 0:
+                        continue
+                    ma.buffers[t].data[idx[sel] - tb.lo] = vals[sel]
                 nbytes = n * ma.itemsize
                 with self._tag(MECH_WINDOWED, ma.name):
                     tr = bus.p2p(g, t, nbytes, not_before=self._floor(g, t))
@@ -452,7 +481,12 @@ class CommunicationManager:
             if buf is None or buf.count == 0:
                 continue
             per_target_bytes = [0] * ngpus
-            for addrs, vals, op in buf.drain():
+            # Batched replay: adjacent same-op record groups collapse
+            # into one ownership partition + one scatter per owner
+            # instead of per-record-group work.  Replay order within
+            # each op is preserved, so results match drain() exactly.
+            groups = buf.drain_batched() if self.fastpath else buf.drain()
+            for addrs, vals, op in groups:
                 owners = owner_of(addrs, ma.primary)
                 for t in np.unique(owners):
                     t = int(t)
@@ -590,8 +624,8 @@ class CommunicationManager:
         # so a follow-up loop reading this array replica-placed skips the
         # reload entirely.
         ma.placement = Placement.REPLICA
-        ma.signature = (Placement.REPLICA,
-                        tuple((0, ma.length) for _ in range(ngpus)), False)
+        ma.signature = _uniform_signature(Placement.REPLICA, ma.length,
+                                          ngpus, False)
 
 
 def _combine(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:

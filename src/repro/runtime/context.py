@@ -77,11 +77,17 @@ class AccExecutor:
         balancer: AdaptiveBalancer | None = None,
         sanitizer: Any | None = None,
         tracer: Any | None = None,
+        fastpath: bool = True,
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
         self.platform = platform
-        self.loader = loader or DataLoader(platform)
+        #: Wall-clock fast paths: span codegen branches, launch-context
+        #: caching, slice dirty propagation.  Results and modeled time
+        #: are bit-identical with the flag off (the determinism matrix
+        #: pins this); off is the measured "before" baseline.
+        self.fastpath = fastpath
+        self.loader = loader or DataLoader(platform, fastpath=fastpath)
         #: Opt-in coherence sanitizer (:mod:`repro.sanitizer`).  None by
         #: default: the hot path pays a single ``is None`` test per loop.
         self.sanitizer = sanitizer
@@ -98,7 +104,15 @@ class AccExecutor:
         self.comm = CommunicationManager(platform, self.loader,
                                          tree_reduction=tree_reduction,
                                          overlap=overlap, coalesce=coalesce,
-                                         tracer=tracer)
+                                         tracer=tracer, fastpath=fastpath)
+        #: Launch fast path: per-(plan, GPU) kernel contexts with their
+        #: argument bindings, revalidated against each array's version
+        #: counter.  Values pin the plan/config objects they were built
+        #: from so identity comparisons stay sound.
+        self._ctx_cache: dict[tuple[int, int], tuple] = {}
+        #: Halo-split stride qualification per array config (overlap
+        #: mode re-derives it every launch otherwise).
+        self._stride_qual: dict[int, tuple[Any, Any]] = {}
         #: Asynchronous communication pipelining: kernels of the next
         #: loop gate on per-array comm completion instead of a global
         #: barrier, and waits are attributed by the platform timeline.
@@ -150,9 +164,10 @@ class AccExecutor:
                     "not defined")
             scalars[n] = host_env[n]
 
-        # Step 1: mapping + loading.
+        # Step 1: mapping + loading.  (The window evaluator only reads
+        # host_env, so no defensive copy per launch.)
         self.loader.ensure_for_loop(configs, tasks,
-                                    plan.loop_var, dict(host_env))
+                                    plan.loop_var, host_env)
         if self.platform.bus.pending_count():
             if self.overlap:
                 # GPU-GPU traffic from earlier loops may still be in
@@ -316,20 +331,30 @@ class AccExecutor:
                 continue  # gated via ready_time; no split benefit
             if not pc.halo_only or cfg.placement != Placement.DISTRIBUTED:
                 return None
-            spec = cfg.window.spec if cfg.window is not None else None
-            if spec is not None:
-                if spec.kind != "stride":
-                    return None
-                stride = (const_value(spec.stride)
-                          if spec.stride is not None else 1)
-            elif (cfg.window is not None and cfg.window.origin == "inferred"
-                    and cfg.inferred_span is not None):
-                # Compiler-inferred windows carry their static span
-                # directly; they qualify for the halo split exactly as a
-                # declared stride form does.
-                stride = cfg.inferred_span[0]
+            ent = self._stride_qual.get(id(cfg))
+            if ent is not None and ent[0] is cfg:
+                stride = ent[1]
             else:
-                return None
+                # Qualify once per config object: the window spec is
+                # static, so the evaluated stride cannot change between
+                # launches.  ``None`` records a disqualified config.
+                spec = cfg.window.spec if cfg.window is not None else None
+                if spec is not None:
+                    if spec.kind != "stride":
+                        stride = None
+                    else:
+                        stride = (const_value(spec.stride)
+                                  if spec.stride is not None else 1)
+                elif (cfg.window is not None
+                        and cfg.window.origin == "inferred"
+                        and cfg.inferred_span is not None):
+                    # Compiler-inferred windows carry their static span
+                    # directly; they qualify for the halo split exactly
+                    # as a declared stride form does.
+                    stride = cfg.inferred_span[0]
+                else:
+                    stride = None
+                self._stride_qual[id(cfg)] = (cfg, stride)
             if stride != 1:
                 return None
             ma = self.loader._get(name)
@@ -362,11 +387,33 @@ class AccExecutor:
     def _make_context(self, g: int, t0: int, t1: int,
                       plan: KernelPlanLike, scalars: dict[str, Any],
                       configs: dict | None = None) -> KernelContext:
-        ctx = KernelContext(device_index=g, i0=t0, i1=t1,
-                            scalars=dict(scalars), trace=self.tracer)
         arrays = configs if configs is not None else plan.config.arrays
+        key = (id(plan), g)
+        if self.fastpath:
+            hit = self._ctx_cache.get(key)
+            if hit is not None:
+                ctx, c_plan, c_arrays, deps = hit
+                if c_plan is plan and c_arrays is arrays and all(
+                        ma.version == v for ma, v in deps):
+                    # Steady-state launch: every binding (buffer views,
+                    # base offsets, trackers, miss buffers, windows) is
+                    # unchanged -- refresh only the per-launch slice,
+                    # scalars and result slots.
+                    ctx.i0 = t0
+                    ctx.i1 = t1
+                    ctx.scalars = dict(scalars)
+                    ctx.trace = self.tracer
+                    ctx.dyn_counts = {}
+                    ctx.scalar_results = {}
+                    ctx.scalar_ops = {}
+                    return ctx
+        ctx = KernelContext(device_index=g, i0=t0, i1=t1,
+                            scalars=dict(scalars), trace=self.tracer,
+                            fastpath=self.fastpath)
+        deps = []
         for name, cfg in arrays.items():
             ma = self.loader._get(name)
+            deps.append((ma, ma.version))
             buf = ma.buffers[g]
             if buf is None:
                 ctx.arrays[name] = np.empty(0, dtype=ma.host.dtype)
@@ -385,4 +432,6 @@ class AccExecutor:
                 ctx.miss[name] = buf_m
             if cfg.write_handling == WriteHandling.REDUCTION:
                 ctx.reduction_arrays[name] = ctx.arrays[name]
+        if self.fastpath:
+            self._ctx_cache[key] = (ctx, plan, arrays, deps)
         return ctx

@@ -62,10 +62,33 @@ class KernelContext:
     #: and dirty-mark volumes are counted per (loop, GPU, array).  None
     #: (the default) costs one branch per instrumentation call.
     trace: Any = None
+    #: Wall-clock fast paths in the generated code: kernels emit both a
+    #: contiguous-span path (slice loads/stores, O(words) dirty marks)
+    #: and the original gather/scatter path, branching on this flag at
+    #: run time.  Same compiled kernel, bit-identical results and
+    #: modeled cost either way -- only the host-side Python work
+    #: differs.
+    fastpath: bool = True
+    #: Memoized lane-index vector (``_iota_key`` is its (i0, i1)).
+    _iota: np.ndarray | None = None
+    _iota_key: tuple[int, int] | None = None
 
     #: Modules exposed to generated code.
     np = np
     ks = ks
+
+    def iota(self) -> np.ndarray:
+        """The launch's global lane indices ``arange(i0, i1)``, memoized
+        across launches with the same geometry (the dominant case once
+        contexts are cached).  Returned read-only so a stale launch can
+        never corrupt it; ``ks.bcv`` copies non-writeable inputs."""
+        key = (self.i0, self.i1)
+        if self._iota is None or self._iota_key != key:
+            v = np.arange(self.i0, self.i1, dtype=np.int64)
+            v.setflags(write=False)
+            self._iota = v
+            self._iota_key = key
+        return self._iota
 
     # -- instrumentation endpoints -------------------------------------------------
 
@@ -81,6 +104,20 @@ class KernelContext:
         tracker.mark(gi)
         if self.trace is not None:
             self.trace.count_dirty(name, self.device_index, int(gi.size))
+
+    def mark_dirty_span(self, name: str, lo: int, n: int) -> None:
+        """Span form of :meth:`mark_dirty`: the writes covered global
+        indices [lo, lo+n) contiguously, so the tracker sets whole
+        bitset words instead of scattering an index array."""
+        tracker = self.dirty.get(name)
+        if tracker is None:
+            if self.permissive:
+                return
+            raise RuntimeError(
+                f"kernel marked {name!r} dirty but no tracker was configured")
+        tracker.mark_span(lo, lo + n)
+        if self.trace is not None:
+            self.trace.count_dirty(name, self.device_index, int(n))
 
     def write_checked(self, name: str, global_indices: np.ndarray,
                       values: Any, op: str = "") -> None:
@@ -119,6 +156,55 @@ class KernelContext:
             if self.trace is not None:
                 self.trace.count_miss(name, self.device_index,
                                       int(missed.sum()))
+
+    def write_checked_span(self, name: str, s0: int, s1: int,
+                           values: Any, op: str = "") -> None:
+        """Span form of :meth:`write_checked` for a contiguous global
+        index range [s0, s1).
+
+        The window intersection becomes interval arithmetic: the hit
+        part is one slice store, and the out-of-window edges (left
+        and/or right) are buffered as one ascending miss record --
+        exactly the addresses, values and record grouping the
+        index-vector path would produce for ``arange(s0, s1)``.
+        """
+        s0 = int(s0)
+        s1 = int(s1)
+        n = s1 - s0
+        if n <= 0:
+            return
+        win = self.windows.get(name)
+        is_vec = isinstance(values, np.ndarray) and values.shape
+        if win is None:
+            if self.permissive:
+                ks.store_span(self.arrays[name], s0 - self.base[name], n,
+                              values, op)
+                return
+            raise RuntimeError(
+                f"kernel issued checked write to {name!r} without a window")
+        lo_hit = min(max(s0, win.lo), s1)
+        hi_hit = max(min(s1, win.hi), lo_hit)
+        if hi_hit > lo_hit:
+            hit_vals = values[lo_hit - s0:hi_hit - s0] if is_vec else values
+            ks.store_span(self.arrays[name], lo_hit - self.base[name],
+                          hi_hit - lo_hit, hit_vals, op)
+        n_miss = n - (hi_hit - lo_hit)
+        if n_miss:
+            addrs = np.concatenate([
+                np.arange(s0, lo_hit, dtype=np.int64),
+                np.arange(hi_hit, s1, dtype=np.int64)])
+            if is_vec:
+                miss_vals = np.concatenate([
+                    values[:lo_hit - s0], values[hi_hit - s0:]])
+            else:
+                miss_vals = np.broadcast_to(values, (n_miss,))
+            buf = self.miss.get(name)
+            if buf is None:
+                raise RuntimeError(
+                    f"write miss on {name!r} but no miss buffer configured")
+            buf.record(addrs, np.asarray(miss_vals), op)
+            if self.trace is not None:
+                self.trace.count_miss(name, self.device_index, n_miss)
 
     def reduce_to_array(self, name: str, global_indices: np.ndarray,
                         values: Any, op: str) -> None:

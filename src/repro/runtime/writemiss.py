@@ -100,6 +100,36 @@ class WriteMissBuffer:
         self.count = 0
         return out
 
+    def drain_batched(self) -> list[tuple[np.ndarray, np.ndarray, str]]:
+        """Like :meth:`drain`, but consecutive groups recorded with the
+        same op are concatenated into one record group.
+
+        Replay semantics are unchanged: ``""`` (plain store) applies
+        records in order, so last-writer-wins is preserved by keeping
+        the concatenation in recording order, and compound ops replay
+        through ``np.add.at``-style unbuffered ufuncs, for which one
+        call over the concatenated records equals per-group calls.
+        Only *adjacent* same-op groups merge -- merging across a
+        different op in between would reorder a plain store relative to
+        an accumulate on the same address.
+        """
+        groups = self.drain()
+        if len(groups) < 2:
+            return groups
+        out: list[tuple[np.ndarray, np.ndarray, str]] = []
+        run_a: list[np.ndarray] = []
+        run_v: list[np.ndarray] = []
+        run_op = groups[0][2]
+        for addrs, vals, op in groups:
+            if op != run_op:
+                out.append((np.concatenate(run_a), np.concatenate(run_v),
+                            run_op))
+                run_a, run_v, run_op = [], [], op
+            run_a.append(addrs)
+            run_v.append(vals)
+        out.append((np.concatenate(run_a), np.concatenate(run_v), run_op))
+        return out
+
     def reset(self) -> None:
         """Drop any leftover records and release growth allocations.
 

@@ -29,6 +29,79 @@ def ld(arr: np.ndarray, idx):
     return arr[min(max(int(idx), 0), arr.shape[0] - 1)]
 
 
+def ld_span(arr: np.ndarray, lo: int, n: int, copy: bool = True):
+    """Contiguous gather ``arr[lo:lo+n]`` -- the :func:`ld` fast path.
+
+    Value-identical to ``ld(arr, arange(lo, lo+n))``: when the span is
+    fully in bounds it is one slice (copied unless the caller proved the
+    array is never written in this kernel, in which case a view is
+    safe); otherwise it falls back to the exact clipped gather that
+    :func:`ld` performs, preserving guarded-load semantics for
+    predicated lanes.
+    """
+    size = arr.shape[0]
+    if 0 <= lo and lo + n <= size:
+        sl = arr[lo:lo + n]
+        return sl.copy() if copy else sl
+    if size == 0 or n <= 0:
+        return arr[np.clip(np.arange(lo, lo + n, dtype=np.int64), 0,
+                           size - 1)]
+    # Partially out of bounds (halo loads at block edges): clipping maps
+    # every underflowing index to 0 and every overflowing one to the
+    # last element, so the gather is edge-padding -- two fills and one
+    # slice, no index vector.
+    head = min(max(-lo, 0), n)
+    tail = min(max(lo + n - size, 0), n - head)
+    core_lo = min(max(lo, 0), size)
+    core = arr[core_lo:core_lo + n - head - tail]
+    out = np.empty(n, dtype=arr.dtype)
+    out[:head] = arr[0]
+    out[head:head + core.shape[0]] = core
+    out[head + core.shape[0]:] = arr[-1]
+    return out
+
+
+def store_span(arr: np.ndarray, lo: int, n: int, values, op: str = "") -> None:
+    """Contiguous store ``arr[lo:lo+n] op= values`` -- the :func:`store`
+    fast path.
+
+    The indices of a span are unique, so slice assignment equals fancy
+    assignment and in-place ufuncs equal unbuffered ``ufunc.at``:
+    results are bit-identical to ``store(arr, arange(lo, lo+n), ...)``.
+    Callers guard bounds (an out-of-range span takes the original
+    indexed path, preserving its error behavior).
+    """
+    if op == "":
+        arr[lo:lo + n] = values
+    elif op == "+":
+        arr[lo:lo + n] += values
+    elif op == "-":
+        arr[lo:lo + n] -= values
+    elif op == "*":
+        arr[lo:lo + n] *= values
+    elif op == "max":
+        np.maximum(arr[lo:lo + n], values, out=arr[lo:lo + n])
+    elif op == "min":
+        np.minimum(arr[lo:lo + n], values, out=arr[lo:lo + n])
+    elif op == "&":
+        arr[lo:lo + n] &= values
+    elif op == "|":
+        arr[lo:lo + n] |= values
+    else:
+        raise ValueError(f"unsupported store op {op!r}")
+
+
+def store_span_masked(arr: np.ndarray, lo: int, n: int, values, mask) -> None:
+    """Predicated contiguous store: lanes of ``[lo, lo+n)`` where ``mask``.
+
+    Equals ``store(arr, arange(lo, lo+n)[mask], bcv(values)[mask])`` for
+    plain assignment -- span indices are unique, so masked copyto and
+    gather/scatter write the same lanes with the same values -- but
+    skips building the index and value gather vectors entirely.
+    """
+    np.copyto(arr[lo:lo + n], values, where=mask)
+
+
 def msel(v, mask):
     """Select active lanes of ``v`` (scalar values pass through)."""
     if mask is None:

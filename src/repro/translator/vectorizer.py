@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import textwrap
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..frontend import cast as C
 from ..frontend.analysis import (
@@ -260,6 +261,44 @@ class Vectorizer:
 
     # -- expression translation ------------------------------------------------------
 
+    def tx_quiet(self, e: C.Expr) -> str:
+        """Translate ``e`` without charging the cost model.
+
+        The span fast paths re-derive the affine *offset* of an index
+        expression whose full form was already translated (and priced)
+        the normal way; pricing the offset again would change the
+        kernel's modeled cost depending on whether a fast path was
+        emitted, breaking bit-identical modeled time.
+        """
+        saved = self.cost
+        self.cost = CostCollector()
+        try:
+            return self.tx(e)
+        finally:
+            self.cost = saved
+
+    def span_start(self, idx: C.Expr, *, for_store: bool) -> str | None:
+        """Offset expression of a unit-stride outer-lane access, or None.
+
+        An access spans ``[off + i0, off + i1)`` contiguously when the
+        kernel is on the plain outer axis (CSR flattening reshuffles
+        lanes), the index is affine in the loop variable with
+        coefficient 1, and the offset is lane-invariant (host scalars,
+        literals, and constant-inner-loop variables qualify; kernel
+        locals do not).  Stores additionally require no predication
+        mask -- a masked load may still span because every lane
+        evaluates under predication anyway and the fallback gather is
+        value-identical.
+        """
+        if len(self.axis_stack) != 1 or self.axis.kind != "outer":
+            return None
+        if for_store and self.mask is not None:
+            return None
+        aff = affine_in(idx, self.an.nest.var)
+        if aff is None or aff.coeff != 1 or self.lane_varying(aff.offset):
+            return None
+        return self.tx_quiet(aff.offset)
+
     def tx(self, e: C.Expr) -> str:
         if isinstance(e, C.IntLit):
             return repr(e.value)
@@ -406,7 +445,18 @@ class Vectorizer:
         idx_src = self.tx(idx)
         self.cost.intop(1)
         self.cost.access(_itemsize(cfg.ctype), self.classify_access(name, idx))
-        return f"ks.ld(v_{name}, ({idx_src}) - _b_{name})"
+        slow = f"ks.ld(v_{name}, ({idx_src}) - _b_{name})"
+        off = self.span_start(idx, for_store=False)
+        if off is None:
+            return slow
+        # Unit-stride gather -> slice: a view when this kernel never
+        # stores to the array, else a copy (a view could alias a later
+        # in-place span store).  Out-of-range spans fall back to the
+        # clipped gather inside ld_span, so values match ks.ld exactly.
+        copy = "True" if cfg.written else "False"
+        fast = (f"ks.ld_span(v_{name}, ({off}) + ctx.i0 - _b_{name}, _n, "
+                f"{copy})")
+        return f"({fast} if ctx.fastpath else {slow})"
 
     def linear_index(self, e: C.Index) -> C.Expr:
         if len(e.indices) != 1:
@@ -627,28 +677,88 @@ class Vectorizer:
                 self.cost.flop(a.op if a.op in ("+", "-", "*", "/") else "cmp")
             else:
                 self.cost.intop()
-        gi = self.tmp("_gi")
-        gv = self.tmp("_gv")
-        self.emit(f"{gi} = ks.msel(ks.bcv({idx_src}, {self.axis.lanes}, np.int64), "
-                  f"{self.mask or 'None'})")
-        self.emit(f"{gv} = ks.msel(ks.bcv({val_src}, {self.axis.lanes}, None), "
-                  f"{self.mask or 'None'})")
         if a.op:
             self.cost.serialize(2.0)
         handling = cfg.write_handling
+        # Cost charges above are unconditional: the kernel carries both
+        # the span fast path and the original scatter path, branching on
+        # ctx.fastpath at run time, and its modeled cost must not depend
+        # on which branch executes.
         if handling == WriteHandling.DIRTY_BITS:
-            self.emit(f"ks.store(v_{name}, {gi} - _b_{name}, {gv}, {a.op!r})")
-            self.emit(f"ctx.mark_dirty({name!r}, {gi})")
             # Dirty-bit instrumentation cost (one byte flag + chunk bit).
             self.cost.access(1, ACCESS_RANDOM)
             self.cost.intop(2)
-        elif handling == WriteHandling.LOCAL_PROVEN:
-            self.emit(f"ks.store(v_{name}, {gi} - _b_{name}, {gv}, {a.op!r})")
         elif handling == WriteHandling.MISS_CHECK:
-            self.emit(f"ctx.write_checked({name!r}, {gi}, {gv}, {a.op!r})")
             self.cost.intop(4)
-        else:  # NONE shouldn't happen for a written array; be safe.
-            self.emit(f"ks.store(v_{name}, {gi} - _b_{name}, {gv}, {a.op!r})")
+
+        def emit_slow() -> None:
+            gi = self.tmp("_gi")
+            gv = self.tmp("_gv")
+            self.emit(f"{gi} = ks.msel(ks.bcv({idx_src}, {self.axis.lanes}, "
+                      f"np.int64), {self.mask or 'None'})")
+            self.emit(f"{gv} = ks.msel(ks.bcv({val_src}, {self.axis.lanes}, "
+                      f"None), {self.mask or 'None'})")
+            if handling == WriteHandling.MISS_CHECK:
+                self.emit(f"ctx.write_checked({name!r}, {gi}, {gv}, {a.op!r})")
+            else:
+                self.emit(f"ks.store(v_{name}, {gi} - _b_{name}, {gv}, "
+                          f"{a.op!r})")
+                if handling == WriteHandling.DIRTY_BITS:
+                    self.emit(f"ctx.mark_dirty({name!r}, {gi})")
+
+        off = self.span_start(idx, for_store=True)
+        if off is None:
+            # A predicated plain store may still span: masked copyto over
+            # the slice writes exactly the active lanes, and flatnonzero
+            # recovers their global indices for exact dirty marking (the
+            # marks must not widen -- transfer bytes are modeled).
+            if (self.mask is not None and not a.op
+                    and handling != WriteHandling.MISS_CHECK):
+                moff = self.span_start(idx, for_store=False)
+                if moff is not None:
+                    s = self.tmp("_s")
+                    self.emit(f"{s} = ({moff}) + ctx.i0")
+                    self.emit(f"if ctx.fastpath and 0 <= {s} - _b_{name} and "
+                              f"{s} - _b_{name} + _n <= v_{name}.shape[0]:")
+                    self.indent += 1
+                    self.emit(f"ks.store_span_masked(v_{name}, "
+                              f"{s} - _b_{name}, _n, {val_src}, {self.mask})")
+                    if handling == WriteHandling.DIRTY_BITS:
+                        self.emit(f"ctx.mark_dirty({name!r}, "
+                                  f"np.flatnonzero({self.mask}) + {s})")
+                    self.indent -= 1
+                    self.emit("else:")
+                    self.indent += 1
+                    emit_slow()
+                    self.indent -= 1
+                    return
+            emit_slow()
+            return
+        s = self.tmp("_s")
+        self.emit(f"{s} = ({off}) + ctx.i0")
+        if handling == WriteHandling.MISS_CHECK:
+            # The span form performs the window check itself (misses
+            # become one ascending record), so no bounds guard here.
+            self.emit(f"if ctx.fastpath:")
+            self.indent += 1
+            self.emit(f"ctx.write_checked_span({name!r}, {s}, {s} + _n, "
+                      f"{val_src}, {a.op!r})")
+            self.indent -= 1
+        else:
+            # Out-of-range spans take the original path so its error
+            # behavior (IndexError from the scatter) is preserved.
+            self.emit(f"if ctx.fastpath and 0 <= {s} - _b_{name} and "
+                      f"{s} - _b_{name} + _n <= v_{name}.shape[0]:")
+            self.indent += 1
+            self.emit(f"ks.store_span(v_{name}, {s} - _b_{name}, _n, "
+                      f"{val_src}, {a.op!r})")
+            if handling == WriteHandling.DIRTY_BITS:
+                self.emit(f"ctx.mark_dirty_span({name!r}, {s}, _n)")
+            self.indent -= 1
+        self.emit("else:")
+        self.indent += 1
+        emit_slow()
+        self.indent -= 1
 
     def emit_reduction_to_array(self, s: C.Stmt, d: AccReductionToArray) -> None:
         if not (isinstance(s, C.ExprStmt) and isinstance(s.expr, C.Assign)
@@ -819,7 +929,10 @@ class Vectorizer:
             f"    _n = ctx.i1 - ctx.i0",
             f"    if _n <= 0:",
             f"        return",
-            f"    _i = np.arange(ctx.i0, ctx.i1, dtype=np.int64)",
+            # ctx.iota() memoizes the lane-index vector across launches
+            # with the same geometry (read-only; ks.bcv copies on write).
+            f"    _i = (ctx.iota() if ctx.fastpath"
+            f" else np.arange(ctx.i0, ctx.i1, dtype=np.int64))",
         ]
         for name in sorted(self.config.arrays):
             header.append(f"    v_{name} = ctx.arrays[{name!r}]")
@@ -862,12 +975,27 @@ def _op_matches(stmt_op: str, red_op: str) -> bool:
     return {"max": "max", "min": "min"}.get(stmt_op) == red_op
 
 
+#: Source-text-keyed kernel callables: generated kernels are pure
+#: functions of ``ctx`` (no free variables, no module state), so one
+#: exec'd callable serves every program that generates identical
+#: source -- recompiles with ``cache=False`` and repeated runs skip the
+#: compile+exec entirely.
+_EXEC_CACHE: dict[str, Any] = {}
+_EXEC_CACHE_MAX = 512
+
+
 def compile_kernel_source(info: KernelSourceInfo):
     """Exec the generated source and return the kernel callable."""
-    namespace: dict = {}
-    code = compile(info.source, f"<kernel {info.name}>", "exec")
-    exec(code, namespace)
-    return namespace["kernel"]
+    fn = _EXEC_CACHE.get(info.source)
+    if fn is None:
+        namespace: dict = {}
+        code = compile(info.source, f"<kernel {info.name}>", "exec")
+        exec(code, namespace)
+        fn = namespace["kernel"]
+        if len(_EXEC_CACHE) >= _EXEC_CACHE_MAX:
+            _EXEC_CACHE.clear()
+        _EXEC_CACHE[info.source] = fn
+    return fn
 
 
 def format_source(info: KernelSourceInfo) -> str:

@@ -38,8 +38,15 @@ FLAG_COMBOS = [
     {"adaptive": True},
     {"trace": True},
     {"sanitize": True},
+    # fastpath=False switches every wall-clock fast path (packed dirty
+    # bitsets, span codegen branches, launch-context caching, batched
+    # miss replay) to the reference implementations; the baseline runs
+    # with fastpath on, so this axis pins on-vs-off bit-identity.
+    {"fastpath": False},
     {"overlap": True, "coalesce": True, "adaptive": True,
      "trace": True, "sanitize": True},
+    {"overlap": True, "coalesce": True, "adaptive": True,
+     "trace": True, "sanitize": True, "fastpath": False},
 ]
 
 COMBO_IDS = ["+".join(sorted(c)) for c in FLAG_COMBOS]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.runtime.dirty import TwoLevelDirty
+from repro.runtime.dirty import ReferenceTwoLevelDirty, TwoLevelDirty
 from repro.runtime.writemiss import (
     MissBufferOverflow,
     RECORD_BYTES,
@@ -120,6 +120,101 @@ class TestTwoLevelDirty:
         assert set(np.unique(np.array(indices) // epc)) == \
             set(d.dirty_chunks().tolist())
         assert d.transfer_bytes() >= elems.size * 4
+
+
+def _dirty_ops(n):
+    """Strategy: one (op, payload) step applicable to an n-element array."""
+    ops = [st.tuples(st.just("clear"), st.just(None))]
+    # Spans with lo <= hi <= n (empty spans included on purpose).
+    ops.append(st.tuples(
+        st.just("span"),
+        st.tuples(st.integers(0, n), st.integers(0, n)).map(sorted)))
+    if n > 0:
+        ops.append(st.tuples(
+            st.just("mark"),
+            st.lists(st.integers(0, n - 1), min_size=0, max_size=40)))
+    return st.one_of(ops)
+
+
+@st.composite
+def dirty_scenarios(draw):
+    n = draw(st.sampled_from([0, 1, 2, 15, 16, 17, 63, 64, 65, 500, 1000]))
+    chunk_bytes = draw(st.sampled_from([4, 16, 64, 256, 1024]))
+    steps = draw(st.lists(_dirty_ops(n), min_size=0, max_size=10))
+    return n, chunk_bytes, steps
+
+
+class TestDifferentialDirty:
+    """Packed-word engine vs the byte-per-flag reference, differentially.
+
+    Every observable of the packed ``TwoLevelDirty`` (scans, summaries,
+    transfer sizing, the unpacked bit views) must match
+    ``ReferenceTwoLevelDirty`` after any interleaving of random marks,
+    span marks and clears -- including zero-length and single-element
+    arrays and chunk sizes straddling the 64-bit word boundary.
+    """
+
+    @staticmethod
+    def assert_same(fast, ref):
+        assert fast.elems_per_chunk == ref.elems_per_chunk
+        assert fast.n_chunks == ref.n_chunks
+        assert fast.any_dirty == ref.any_dirty
+        np.testing.assert_array_equal(fast.dirty_chunks(),
+                                      ref.dirty_chunks())
+        np.testing.assert_array_equal(fast.dirty_elements(),
+                                      ref.dirty_elements())
+        assert fast.dirty_chunk_runs() == ref.dirty_chunk_runs()
+        assert fast.transfer_bytes() == ref.transfer_bytes()
+        np.testing.assert_array_equal(np.asarray(fast.element_bits) != 0,
+                                      np.asarray(ref.element_bits) != 0)
+        np.testing.assert_array_equal(np.asarray(fast.chunk_bits) != 0,
+                                      np.asarray(ref.chunk_bits) != 0)
+        # When the packed engine claims a dense dirty slice it must
+        # describe exactly the dirty element set.
+        sl = fast.dirty_slice()
+        if sl is not None:
+            lo, hi = sl
+            np.testing.assert_array_equal(fast.dirty_elements(),
+                                          np.arange(lo, hi))
+
+    @given(dirty_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_differential(self, scenario):
+        n, chunk_bytes, steps = scenario
+        fast = TwoLevelDirty("a", n, 4, chunk_bytes=chunk_bytes)
+        ref = ReferenceTwoLevelDirty("a", n, 4, chunk_bytes=chunk_bytes)
+        self.assert_same(fast, ref)
+        for op, payload in steps:
+            if op == "clear":
+                fast.clear()
+                ref.clear()
+            elif op == "span":
+                lo, hi = payload
+                fast.mark_span(lo, hi)
+                ref.mark_span(lo, hi)
+            else:
+                idx = np.array(payload, dtype=np.int64)
+                fast.mark(idx)
+                ref.mark(idx)
+            self.assert_same(fast, ref)
+        assert fast.stats.marks == ref.stats.marks
+
+    @given(st.sampled_from([0, 1, 10]),
+           st.sampled_from([(-1, "neg"), (0, "end"), (5, "past")]))
+    @settings(max_examples=30, deadline=None)
+    def test_differential_out_of_range(self, n, probe):
+        off, _ = probe
+        bad = n + off if off >= 0 else off
+        fast = TwoLevelDirty("a", n, 4, chunk_bytes=64)
+        ref = ReferenceTwoLevelDirty("a", n, 4, chunk_bytes=64)
+        with pytest.raises(IndexError):
+            fast.mark(np.array([bad]))
+        with pytest.raises(IndexError):
+            ref.mark(np.array([bad]))
+        with pytest.raises(IndexError):
+            fast.mark_span(bad, bad + 1)
+        with pytest.raises(IndexError):
+            ref.mark_span(bad, bad + 1)
 
 
 class TestWriteMissBuffer:

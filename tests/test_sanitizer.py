@@ -174,8 +174,12 @@ class TestFaultInjection:
     NO_INFER = repro.CompileOptions(infer=False)
 
     def test_unmarked_write_caught(self, monkeypatch):
+        # Suppress both marking entry points: span-qualified stores mark
+        # through mark_span, everything else through mark.
         monkeypatch.setattr(TwoLevelDirty, "mark",
                             lambda self, idx: None)
+        monkeypatch.setattr(TwoLevelDirty, "mark_span",
+                            lambda self, lo, hi: None)
         with pytest.raises(CoherenceViolation) as exc:
             run_source(STEP, step_args(), ngpus=2, sanitize=True,
                        options=self.NO_INFER)
