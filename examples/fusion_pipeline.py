@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Kernel fusion: a three-loop pipeline, before and after ``fuse=True``.
+
+``gradpipe`` runs three adjacent parallel loops per time step:
+
+    t[i]   = u[i+1] - u[i]          (gradient)
+    s[i]   = t[i] * t[i]            (square)
+    out[i] = out[i] + s[i] + t[i]/4 (accumulate)
+
+Unfused, every step pays three kernel launches per GPU and a full
+load/writeback round for the intermediates ``t`` and ``s`` between
+them.  With ``CompileOptions(fuse=True)`` the compiler proves all
+inter-loop dependences are same-iteration (``t[i]``/``s[i]`` consumed
+exactly where they are produced), fuses the three loops into one
+kernel, and demotes both intermediates to kernel-local scratch -- their
+host traffic disappears entirely.
+
+The script prints the ``repro.explain`` report for both compilations
+(the fused one lists the group, the demotions, and what was elided),
+then runs the app both ways on 2 GPUs and reports the measured
+difference: traced transfer bytes, kernel launches, and modeled
+communication seconds -- with bit-identical results.
+
+Run:  python examples/fusion_pipeline.py [n] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.apps.pipelines import GRADPIPE_SPEC, gradpipe_args
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 16
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    plain = repro.compile(GRADPIPE_SPEC.source)
+    fused = repro.compile(GRADPIPE_SPEC.source,
+                          repro.CompileOptions(fuse=True))
+
+    print("-- explain report, fuse=False --\n")
+    print(plain.explain().render())
+    print("\n-- explain report, fuse=True --\n")
+    print(fused.explain().render())
+
+    # One group of all three loops, both intermediates demoted.
+    (group,) = fused.compiled.fusion_groups
+    assert group.members == ("gradpipe_L0", "gradpipe_L1", "gradpipe_L2")
+    assert sorted(d.name for d in group.demoted) == ["s", "t"]
+
+    print(f"\n{'':>12} {'launches':>9} {'bytes':>10} {'CPU-GPU s':>11}")
+    runs = {}
+    for label, prog in (("fuse=False", plain), ("fuse=True", fused)):
+        args = gradpipe_args(n=n, steps=steps)
+        run = prog.run(GRADPIPE_SPEC.entry, args, machine="desktop",
+                       ngpus=2, trace=True)
+        m = run.tracer.metrics
+        runs[label] = (args["out"].copy(), m.counter_total("kernel_launches"),
+                       m.counter_total("transfer_bytes"),
+                       run.breakdown.cpu_gpu)
+        _, launches, nbytes, comm = runs[label]
+        print(f"{label:>12} {int(launches):>9} {int(nbytes):>10} "
+              f"{comm:>11.6f}")
+
+    out_plain, l0, b0, c0 = runs["fuse=False"]
+    out_fused, l1, b1, c1 = runs["fuse=True"]
+    np.testing.assert_array_equal(out_fused, out_plain)
+    assert l1 * 3 == l0 and b1 < b0 and c1 < c0
+    print(f"\nbit-identical results; elided {int(b0 - b1)} transfer bytes, "
+          f"{int(l0 - l1)} launches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """The paper's benchmark applications: MD, KMEANS, BFS."""
 
-from . import bfs, heat2d, jacobi, kmeans, md, spmv, stencil
+from . import bfs, heat2d, jacobi, kmeans, md, pipelines, spmv, stencil
 from .base import AppSpec, Workload
 
 #: The paper's Table II applications.
@@ -13,7 +13,9 @@ EXTRA_APPS = {
     "heat2d": heat2d.SPEC,
     "spmv": spmv.SPEC,
     "jacobi": jacobi.SPEC,
+    "gradpipe": pipelines.GRADPIPE_SPEC,
+    "phasepipe": pipelines.PHASEPIPE_SPEC,
 }
 
 __all__ = ["AppSpec", "Workload", "ALL_APPS", "EXTRA_APPS", "md", "kmeans",
-           "bfs", "stencil", "heat2d", "spmv", "jacobi"]
+           "bfs", "stencil", "heat2d", "spmv", "jacobi", "pipelines"]

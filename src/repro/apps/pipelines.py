@@ -1,0 +1,149 @@
+"""Pipeline apps: adjacent parallel loops for the fusion pass.
+
+Two small producer/consumer pipelines whose communication profile is
+dominated by the traffic *between* adjacent parallel loops -- exactly
+the rounds ``CompileOptions(fuse=True)`` elides:
+
+* **gradpipe** -- a three-stage gradient pipeline whose two
+  intermediate arrays (``t``, ``s``) are function-local and consumed
+  at the producing offset.  Fused, both demote to kernel-local scratch
+  and their per-region host load/writeback disappears along with two
+  of the three kernel launches per step (CPU-GPU elision).
+* **phasepipe** -- three sweeps over a replica-placed array written at
+  a *symbolic* offset (``u[i + off]``), which defeats the localaccess
+  inference and leaves dirty-bit broadcasts between the sweeps.
+  Fusion merges the two inter-member broadcast rounds into one, so
+  the Fig. 8 GPU-GPU seconds halve at any GPU count (GPU-GPU elision).
+
+Both apps use only per-element writes with no floating-point
+reductions, so fused and unfused runs are bit-identical at every GPU
+count -- the property the determinism matrix and the differential
+fusion tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppSpec, Workload
+
+GRADPIPE_SOURCE = r"""
+void gradpipe(float *u, float *out, int n, int steps) {
+    float t[n];
+    float s[n];
+    for (int k = 0; k < steps; k++) {
+        #pragma acc parallel loop
+        for (int i = 0; i < n - 1; i++)
+            t[i] = u[i + 1] - u[i];
+        #pragma acc parallel loop
+        for (int i = 0; i < n - 1; i++)
+            s[i] = t[i] * t[i];
+        #pragma acc parallel loop
+        for (int i = 0; i < n - 1; i++)
+            out[i] = out[i] + s[i] + 0.25f * t[i];
+    }
+}
+"""
+
+PHASEPIPE_SOURCE = r"""
+void phasepipe(float *u, float *x, float *out, int n, int off, int steps) {
+    for (int k = 0; k < steps; k++) {
+        #pragma acc parallel loop
+        for (int i = 0; i < n; i++)
+            u[i + off] = x[i] + u[i + off] * 0.5f;
+        #pragma acc parallel loop
+        for (int i = 0; i < n; i++)
+            u[i + off] = u[i + off] * (1.5f - 0.5f * u[i + off] * u[i + off]);
+        #pragma acc parallel loop
+        for (int i = 0; i < n; i++)
+            out[i] = out[i] + u[i + off];
+    }
+}
+"""
+
+#: Host-side padding before/after ``phasepipe``'s accessed window, so
+#: the symbolic offset stays in bounds.
+PHASE_PAD = 8
+
+
+def gradpipe_args(n: int = 16384, steps: int = 4, seed: int = 11) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "u": rng.uniform(-1.0, 1.0, size=n).astype(np.float32),
+        "out": np.zeros(n, dtype=np.float32),
+        "n": n,
+        "steps": steps,
+    }
+
+
+def gradpipe_reference(args: dict) -> dict:
+    u = np.asarray(args["u"], dtype=np.float32)
+    out = np.asarray(args["out"], dtype=np.float32).copy()
+    quarter = np.float32(0.25)
+    for _ in range(args["steps"]):
+        t = u[1:] - u[:-1]
+        s = t * t
+        out[:-1] = out[:-1] + s + quarter * t
+    return {"out": out}
+
+
+def phasepipe_args(n: int = 16384, off: int = 4, steps: int = 3,
+                   seed: int = 13) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "u": rng.uniform(-0.5, 0.5, size=n + PHASE_PAD).astype(np.float32),
+        "x": rng.uniform(-0.1, 0.1, size=n).astype(np.float32),
+        "out": np.zeros(n, dtype=np.float32),
+        "n": n,
+        "off": off,
+        "steps": steps,
+    }
+
+
+def phasepipe_reference(args: dict) -> dict:
+    u = np.asarray(args["u"], dtype=np.float32).copy()
+    x = np.asarray(args["x"], dtype=np.float32)
+    out = np.asarray(args["out"], dtype=np.float32).copy()
+    off, n = args["off"], args["n"]
+    half = np.float32(0.5)
+    three_half = np.float32(1.5)
+    for _ in range(args["steps"]):
+        w = u[off:off + n]
+        w = x + w * half
+        w = w * (three_half - half * w * w)
+        u[off:off + n] = w
+        out = out + w
+    return {"u": u, "out": out}
+
+
+GRADPIPE_SPEC = AppSpec(
+    name="gradpipe",
+    description="3-stage gradient pipeline (fusion demo: scratch demotion)",
+    source=GRADPIPE_SOURCE,
+    entry="gradpipe",
+    make_args=gradpipe_args,
+    reference=gradpipe_reference,
+    outputs=["out"],
+    workloads={
+        "tiny": Workload("tiny", {"n": 193, "steps": 2, "seed": 3}),
+        "test": Workload("test", {"n": 2048, "steps": 3, "seed": 5}),
+        "bench": Workload("bench", {"n": 262144, "steps": 6, "seed": 11}),
+    },
+)
+
+PHASEPIPE_SPEC = AppSpec(
+    name="phasepipe",
+    description="3-sweep replica pipeline (fusion demo: broadcast merging)",
+    source=PHASEPIPE_SOURCE,
+    entry="phasepipe",
+    make_args=phasepipe_args,
+    reference=phasepipe_reference,
+    outputs=["u", "out"],
+    workloads={
+        "tiny": Workload("tiny", {"n": 181, "off": 3, "steps": 2, "seed": 3}),
+        "test": Workload("test", {"n": 2048, "off": 5, "steps": 3,
+                                  "seed": 5}),
+        "bench": Workload("bench", {"n": 262144, "off": 4, "steps": 6,
+                                    "seed": 13}),
+    },
+)

@@ -52,6 +52,27 @@ CASES: dict[str, dict[str, Any]] = {
                     "sizes": (1 << 16, 1 << 19, 1 << 22)},
 }
 
+#: Extra sweepable apps that are *not* part of the checked-in
+#: ``BENCH_scaling.json`` artifact (its schema test pins the artifact
+#: to exactly ``CASES``).  These are reachable through ``--apps`` for
+#: ad-hoc and CI quick runs -- notably the fusion pipelines, whose
+#: fused-vs-unfused wall clock the CI perf gate spot-checks.
+EXTRA_CASES: dict[str, dict[str, Any]] = {
+    "gradpipe": {"param": "n", "fixed": {"steps": 4},
+                 "sizes": (1 << 14, 1 << 17, 1 << 20)},
+    "phasepipe": {"param": "n", "fixed": {"off": 4, "steps": 4},
+                  "sizes": (1 << 14, 1 << 17, 1 << 20)},
+}
+
+
+def case_for(app: str) -> dict[str, Any]:
+    """Benchmark case for ``app``, artifact cases first."""
+    try:
+        return CASES[app]
+    except KeyError:
+        return EXTRA_CASES[app]
+
+
 GPU_COUNTS = (1, 2, 4, 8)
 
 #: Artifact schema identifier (bump when the JSON layout changes).
@@ -90,7 +111,7 @@ class ScalingPoint:
 
 
 def measure_seconds(app: str, n: int, ngpus: int, fastpath: bool,
-                    repeats: int = 1) -> float:
+                    repeats: int = 1, fuse: bool = False) -> float:
     """Best-of-``repeats`` wall-clock seconds for one configuration.
 
     Compilation happens outside the timed region (the artifact tracks
@@ -98,9 +119,10 @@ def measure_seconds(app: str, n: int, ngpus: int, fastpath: bool,
     construction too.  Fresh arguments per repeat: apps mutate their
     arrays in place.
     """
-    case = CASES[app]
+    case = case_for(app)
     spec = APPS[app]
-    prog = api.compile(spec.source)
+    options = api.CompileOptions(fuse=True) if fuse else None
+    prog = api.compile(spec.source, options)
     machine = machine_for(ngpus)
     best = float("inf")
     for _ in range(max(1, repeats)):
@@ -113,7 +135,22 @@ def measure_seconds(app: str, n: int, ngpus: int, fastpath: bool,
 
 
 def measure_point(app: str, n: int, ngpus: int,
-                  repeats: int = 1) -> ScalingPoint:
+                  repeats: int = 1, fuse: bool = False) -> ScalingPoint:
+    """One measurement pair.
+
+    Default mode compares fastpath off/on.  With ``fuse=True`` both
+    runs keep the default fast paths and the pair instead compares
+    ``fuse=False`` ("before") against ``fuse=True`` ("after") -- the
+    quick fused-vs-unfused wall-clock check CI runs on the pipeline
+    apps.
+    """
+    if fuse:
+        return ScalingPoint(
+            app=app, n=n, ngpus=ngpus,
+            seconds_before=measure_seconds(app, n, ngpus, True, repeats),
+            seconds_after=measure_seconds(app, n, ngpus, True, repeats,
+                                          fuse=True),
+        )
     return ScalingPoint(
         app=app, n=n, ngpus=ngpus,
         seconds_before=measure_seconds(app, n, ngpus, False, repeats),
@@ -125,13 +162,14 @@ def sweep(apps: list[str] | None = None,
           gpu_counts: tuple[int, ...] = GPU_COUNTS,
           repeats: int = 1,
           sizes: tuple[int, ...] | None = None,
-          progress: Any = None) -> list[ScalingPoint]:
+          progress: Any = None,
+          fuse: bool = False) -> list[ScalingPoint]:
     """The full apps x sizes x GPU-counts wall-clock sweep."""
     points = []
     for app in (apps or list(CASES)):
-        for n in (sizes or CASES[app]["sizes"]):
+        for n in (sizes or case_for(app)["sizes"]):
             for g in gpu_counts:
-                p = measure_point(app, n, g, repeats)
+                p = measure_point(app, n, g, repeats, fuse=fuse)
                 if progress is not None:
                     progress(p)
                 points.append(p)

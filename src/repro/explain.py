@@ -121,10 +121,51 @@ class LoopReport:
 
 
 @dataclass(frozen=True)
+class FusionGroupReport:
+    """One fused run of adjacent parallel loops."""
+
+    name: str
+    #: Member kernel names in program order.
+    members: tuple[str, ...]
+    #: Arrays demoted to kernel-local scratch (no host/device copy).
+    demoted: tuple[str, ...]
+    #: Per-array elision note: which inter-member communication round
+    #: the fusion removed.
+    elided: dict[str, str]
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """What the fusion pass did (``CompileOptions(fuse=True)``)."""
+
+    groups: tuple[FusionGroupReport, ...]
+    #: Adjacent pairs that did *not* fuse: (first, second, reason).
+    bails: tuple[tuple[str, str, str], ...]
+
+    def render(self) -> str:
+        lines: list[str] = ["fusion:"]
+        for g in self.groups:
+            lines.append(f"  group {g.name}: {' + '.join(g.members)} "
+                         f"-> 1 launch")
+            for name in g.demoted:
+                lines.append(f"    {name}: {g.elided[name]}")
+            for name, note in sorted(g.elided.items()):
+                if name not in g.demoted:
+                    lines.append(f"    {name}: {note}")
+        if not self.groups:
+            lines.append("  (no groups fused)")
+        for first, second, reason in self.bails:
+            lines.append(f"  bail {first} | {second}: {reason}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class ExplainReport:
     """Placement decisions for every parallel loop of a program."""
 
     loops: tuple[LoopReport, ...]
+    #: Fusion pass results; None when compiled without ``fuse=True``.
+    fusion: FusionReport | None = None
 
     def loop(self, name: str) -> LoopReport:
         for l in self.loops:
@@ -142,11 +183,15 @@ class ExplainReport:
                 lines.append(f"  {a.array:<{width}}  {a.describe()}")
             if not lp.arrays:
                 lines.append("  (no device arrays)")
+        if self.fusion is not None:
+            lines.append(self.fusion.render())
         return "\n".join(lines)
 
     def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps({"loops": [asdict(l) for l in self.loops]},
-                          indent=indent)
+        doc: dict[str, Any] = {"loops": [asdict(l) for l in self.loops]}
+        if self.fusion is not None:
+            doc["fusion"] = asdict(self.fusion)
+        return json.dumps(doc, indent=indent)
 
 
 def _bound_text(e: Expr, loop_var: str) -> str:
@@ -224,8 +269,19 @@ def explain(target: Any,
         raise TypeError(
             f"explain() wants an AccProgram, CompiledProgram, or source "
             f"string, not {type(target).__name__}")
+    fusion = None
+    if compiled.options.fuse:
+        fusion = FusionReport(
+            groups=tuple(
+                FusionGroupReport(name=g.name, members=g.members,
+                                  demoted=tuple(d.name for d in g.demoted),
+                                  elided=dict(g.elided))
+                for g in compiled.fusion_groups),
+            bails=tuple((b.first, b.second, b.reason)
+                        for b in compiled.fusion_bails))
     return ExplainReport(
-        loops=tuple(_loop_report(p.config) for p in compiled.plans))
+        loops=tuple(_loop_report(p.config) for p in compiled.plans),
+        fusion=fusion)
 
 
 # ---------------------------------------------------------------------------
@@ -248,11 +304,15 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--no-infer", action="store_true",
                     help="disable localaccess inference "
                          "(paper-faithful manual-annotation behavior)")
+    ap.add_argument("--fuse", action="store_true",
+                    help="enable kernel fusion and report fused groups, "
+                         "bail reasons, and (with --app) measured "
+                         "transfer bytes elided on the tiny workload")
     ap.add_argument("--json", action="store_true",
                     help="emit the report as JSON")
     ns = ap.parse_args(argv)
 
-    options = CompileOptions(infer=not ns.no_infer)
+    options = CompileOptions(infer=not ns.no_infer, fuse=ns.fuse)
     if ns.app is not None:
         from .apps import ALL_APPS, EXTRA_APPS
         apps = {**ALL_APPS, **EXTRA_APPS}
@@ -270,7 +330,60 @@ def main(argv: list[str] | None = None) -> int:
     else:
         report = explain(source, options)
     print(report.to_json() if ns.json else report.render())
+    if ns.fuse and ns.app is not None and not ns.json:
+        print(render_measured_elision(apps[ns.app]))
     return 0
+
+
+def measured_elision(spec: Any, ngpus: int = 2,
+                     workload: str = "tiny") -> dict[str, int]:
+    """Run an app fused and unfused and measure what fusion elided.
+
+    Returns transfer bytes and kernel-launch counts for both runs (the
+    numbers the ablation benchmark records at scale).  Outputs of the
+    two runs are asserted bit-identical first.
+    """
+    import numpy as np
+
+    from .api import compile as compile_api
+
+    results = {}
+    arrays = {}
+    for fuse in (False, True):
+        prog = compile_api(spec.source,
+                           CompileOptions(infer=True, fuse=fuse))
+        args = spec.args_for(workload)
+        run = prog.run(spec.entry, args, machine="desktop", ngpus=ngpus,
+                       trace=True)
+        t = run.tracer
+        results[fuse] = {
+            "transfer_bytes": t.metrics.counter_total("transfer_bytes"),
+            "kernel_launches": t.metrics.counter_total("kernel_launches"),
+        }
+        arrays[fuse] = {k: v for k, v in args.items()
+                        if isinstance(v, np.ndarray)}
+    for name, a in arrays[False].items():
+        np.testing.assert_array_equal(
+            arrays[True][name], a,
+            err_msg=f"{spec.name}.{name} perturbed by fusion")
+    return {
+        "unfused_bytes": int(results[False]["transfer_bytes"]),
+        "fused_bytes": int(results[True]["transfer_bytes"]),
+        "elided_bytes": int(results[False]["transfer_bytes"]
+                            - results[True]["transfer_bytes"]),
+        "unfused_launches": int(results[False]["kernel_launches"]),
+        "fused_launches": int(results[True]["kernel_launches"]),
+    }
+
+
+def render_measured_elision(spec: Any, ngpus: int = 2) -> str:
+    m = measured_elision(spec, ngpus=ngpus)
+    return (f"measured on {spec.name!r} tiny workload at {ngpus} GPUs "
+            f"(bit-identical outputs):\n"
+            f"  transfer bytes {m['unfused_bytes']} -> {m['fused_bytes']} "
+            f"(elided {m['elided_bytes']})\n"
+            f"  kernel launches {m['unfused_launches']} -> "
+            f"{m['fused_launches']}")
 
 
 if __name__ == "__main__":

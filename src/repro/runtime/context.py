@@ -211,8 +211,10 @@ class AccExecutor:
             profiler.record_kernel(plan.name, g, seconds,
                                    launches=launches, iterations=n)
             if self.tracer is not None:
+                fusion = getattr(plan, "fusion_members", None)
                 for rec in dev.launches[n_recs:]:
-                    self.tracer.kernel_event(rec, iterations=n)
+                    self.tracer.kernel_event(rec, iterations=n,
+                                             fusion=fusion)
         if not self.overlap:
             stats.kernel_seconds = self.platform.sync_devices()
         stats.dyn_counts = [dict(c.dyn_counts) for c in contexts]

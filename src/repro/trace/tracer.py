@@ -128,13 +128,19 @@ class Tracer:
     # -- kernel launches -----------------------------------------------------
 
     def kernel_event(self, rec: "KernelLaunchRecord",
-                     iterations: int | None = None) -> None:
+                     iterations: int | None = None,
+                     fusion: tuple[str, ...] | None = None) -> None:
+        attrs = {}
+        if iterations is not None:
+            attrs["iterations"] = iterations
+        if fusion is not None:
+            # Member kernel names of the fused launch, program order.
+            attrs["fusion"] = list(fusion)
         ev = self.emit(EVENT_KERNEL, rec.kernel_name, start=rec.start,
                        duration=rec.seconds, gpu=rec.device_index,
                        grid_dim=rec.config.grid_dim,
                        block_dim=rec.config.block_dim,
-                       **({} if iterations is None
-                          else {"iterations": iterations}))
+                       **attrs)
         self.metrics.count("kernel_launches", 1, loop=ev.loop,
                            gpu=rec.device_index)
         self.metrics.observe("kernel_seconds", rec.seconds, loop=ev.loop,

@@ -84,6 +84,17 @@ class CompileOptions:
     #: Fail compilation when a loop cannot be vectorized instead of
     #: silently keeping only the interpreter fallback.
     require_vectorized: bool = False
+    #: Fuse adjacent parallel loops with compatible iteration spaces
+    #: into one launched kernel and elide the inter-loop communication
+    #: round (:mod:`repro.translator.fusion`).  Off by default: fusion
+    #: changes the launch schedule (never the results -- fused runs are
+    #: bit-identical, the determinism matrix pins it).
+    fuse: bool = False
+    #: Testing hook: skip the *dependence* legality rules (mechanical
+    #: requirements still apply) so the differential suite can show that
+    #: dependence-bailed pairs really diverge when force-fused.  Never
+    #: set outside tests.
+    fuse_force: bool = False
 
 
 @dataclass
@@ -107,6 +118,9 @@ class KernelPlan:
     #: chooses the CUDA block size, ``num_gangs`` caps the grid.
     block_dim: int | None = None
     max_gangs: int | None = None
+    #: Set on fused plans only: the member kernel names, in program
+    #: order (:mod:`repro.translator.fusion`).  Trace events carry it.
+    fusion_members: tuple[str, ...] | None = None
 
     def execute(self, ctx, engine: str = "vector") -> None:
         if engine == "vector" and self.fn is not None:
@@ -144,6 +158,13 @@ class CompiledProgram:
     plans_by_loop: dict[int, KernelPlan] = field(default_factory=dict)
     scopes: dict[str, Scope] = field(default_factory=dict)
     global_scope: Scope | None = None
+    #: Fusion pass results (populated only with ``options.fuse``):
+    #: fused groups, per-pair bail reasons, and -- for cross-region
+    #: groups -- the ids of member statements the host executor must
+    #: skip (their loops run inside the first member's region).
+    fusion_groups: list = field(default_factory=list)
+    fusion_bails: list = field(default_factory=list)
+    fused_stmts: set[int] = field(default_factory=set)
 
     def plan(self, name: str) -> KernelPlan:
         for p in self.plans:
@@ -240,6 +261,13 @@ def _compile_function(func: C.FunctionDef, scope: Scope,
     # vectorization is safe (write handling is re-validated inside).
     if options.infer and len(func_plans) > 1:
         harmonize_windows([(p.config, p.analysis) for p in func_plans])
+    # Kernel fusion runs after harmonization so merged configs carry the
+    # final (envelope) windows.  A fused plan replaces its members in
+    # the region plan lists only; ``compiled.plans`` keeps the member
+    # plans, so per-loop reports and lookups are unchanged.
+    if options.fuse and len(func_plans) > 1:
+        from .fusion import fuse_function
+        fuse_function(func, func_plans, scope, compiled, options)
 
 
 def _walk_outside_regions(body: C.Stmt, compiled: CompiledProgram):

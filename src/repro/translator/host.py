@@ -172,6 +172,12 @@ class HostExecutor:
     # -- statement execution ---------------------------------------------------------------
 
     def _exec(self, s: C.Stmt, env: dict[str, Any]) -> None:
+        # A non-leading member of a cross-region fusion group: its loop
+        # runs inside the first member's fused region, so the statement
+        # (and its directives -- extension past an ``update`` bails in
+        # the fusion pass) is skipped here.
+        if id(s) in self.compiled.fused_stmts:
+            return
         # Standalone executable directives run before the statement.
         for d in s.directives:
             if isinstance(d, AccUpdate):

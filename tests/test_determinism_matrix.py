@@ -43,10 +43,16 @@ FLAG_COMBOS = [
     # miss replay) to the reference implementations; the baseline runs
     # with fastpath on, so this axis pins on-vs-off bit-identity.
     {"fastpath": False},
+    # fuse=True rewrites the kernel schedule itself (merged launches,
+    # elided inter-loop communication, scratch-demoted intermediates);
+    # results must still be bit-identical to the unfused baseline.
+    {"fuse": True},
     {"overlap": True, "coalesce": True, "adaptive": True,
      "trace": True, "sanitize": True},
     {"overlap": True, "coalesce": True, "adaptive": True,
      "trace": True, "sanitize": True, "fastpath": False},
+    {"overlap": True, "coalesce": True, "adaptive": True,
+     "trace": True, "sanitize": True, "fuse": True},
 ]
 
 COMBO_IDS = ["+".join(sorted(c)) for c in FLAG_COMBOS]
@@ -59,7 +65,10 @@ def machine_for(ngpus):
 
 def run_app(name, ngpus, **flags):
     spec = APPS[name]
-    prog = repro.compile(spec.source)
+    # ``fuse`` is a compile-time axis, not a runtime flag.
+    options = repro.CompileOptions(fuse=True) if flags.pop("fuse", False) \
+        else None
+    prog = repro.compile(spec.source, options)
     args = spec.args_for("tiny")
     snap = spec.snapshot(args)
     prog.run(spec.entry, args, machine=machine_for(ngpus), ngpus=ngpus,

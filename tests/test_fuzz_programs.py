@@ -19,6 +19,7 @@ import hashlib
 import numpy as np
 from hypothesis import given, seed, settings, strategies as st
 
+from repro import CompileOptions
 from repro.bench.machines import hypothetical_node
 from tests.util import run_source
 
@@ -214,3 +215,85 @@ class TestExpressionFuzz:
         """
         src = make_program(body)
         run_all_engines(src, lambda: fresh_args(data.draw, n))
+
+
+# -- fusion fuzz -------------------------------------------------------------
+
+
+def make_two_loop_program(body1: str, body2: str) -> str:
+    """Two adjacent parallel loops over the same space: loop 1 produces
+    ``y``, loop 2 consumes it at the producing offset -- the shape the
+    fusion pass must fuse and keep bit-identical."""
+    return f"""
+    void fuzz(int n, int m, float a, float *x, float *w, int *k,
+              float *y, int *z) {{
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {{
+        {body1}
+      }}
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {{
+        {body2}
+      }}
+    }}
+    """
+
+
+def run_fused_vs_unfused(src, make):
+    """Fused runs (vector + interp engines, sanitized, 1/2/4 GPUs) must
+    match the unfused vector run of the same GPU count bit for bit."""
+    template = make()
+
+    def clone():
+        return {k: (v.copy() if isinstance(v, np.ndarray) else v)
+                for k, v in template.items()}
+
+    fuse = CompileOptions(fuse=True)
+    for ngpus in (1, 2, 4):
+        machine = "desktop" if ngpus <= 2 else hypothetical_node(ngpus)
+        plain, _ = run_source(src, clone(), ngpus=ngpus, machine=machine)
+        fused, _ = run_source(src, clone(), ngpus=ngpus, machine=machine,
+                              options=fuse)
+        fint, _ = run_source(src, clone(), ngpus=ngpus, machine=machine,
+                             options=fuse, engine="interp")
+        fsan, run = run_source(src, clone(), ngpus=ngpus, machine=machine,
+                               options=fuse, sanitize=True)
+        assert run.sanitizer.loops_checked > 0
+        for name in ("y", "z"):
+            np.testing.assert_array_equal(
+                fused[name], plain[name],
+                err_msg=f"{name} perturbed by fusion at ngpus={ngpus}")
+            np.testing.assert_array_equal(
+                fint[name], plain[name],
+                err_msg=f"{name} fused-interp mismatch at ngpus={ngpus}")
+            np.testing.assert_array_equal(
+                fsan[name], plain[name],
+                err_msg=f"{name} fused-sanitized mismatch at ngpus={ngpus}")
+
+
+class TestFusionFuzz:
+    @seed(_case_seed("TestFusionFuzz::test_producer_consumer_pairs"))
+    @given(st.data(), st.integers(1, 13))
+    @settings(max_examples=25, deadline=None, database=None)
+    def test_producer_consumer_pairs(self, data, n):
+        e1 = float_expr(data.draw)
+        e2 = float_expr(data.draw)
+        src = make_two_loop_program(
+            f"y[i] = {e1};",
+            f"z[i] = (y[i] + {e2} > 0.0f) ? 1 : 0;")
+        run_fused_vs_unfused(src, lambda: fresh_args(data.draw, n))
+
+    @seed(_case_seed("TestFusionFuzz::test_predicated_consumers"))
+    @given(st.data(), st.integers(1, 13))
+    @settings(max_examples=25, deadline=None, database=None)
+    def test_predicated_consumers(self, data, n):
+        e1 = float_expr(data.draw)
+        cond = bool_expr(data.draw)
+        e3 = float_expr(data.draw)
+        body2 = f"""
+        float t = y[i];
+        if ({cond}) {{ t = t + {e3}; z[i] = 1; }}
+        y[i] = t;
+        """
+        src = make_two_loop_program(f"y[i] = {e1};", body2)
+        run_fused_vs_unfused(src, lambda: fresh_args(data.draw, n))

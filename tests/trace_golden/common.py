@@ -9,16 +9,25 @@ import os
 from repro.api import compile as compile_acc
 from repro.apps import ALL_APPS, EXTRA_APPS
 from repro.bench.machines import hypothetical_node
+from repro.translator.compiler import CompileOptions
 from repro.vcuda.specs import MACHINES
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
 GPU_COUNTS = (1, 2, 4)
 APPS = dict(ALL_APPS) | dict(EXTRA_APPS)
-CASES = [(name, g) for name in APPS for g in GPU_COUNTS]
+
+#: Apps with a golden for the *fused* schedule too (the ones whose
+#: schedule the fusion pass actually rewrites: merged launches, elided
+#: transfer rounds).  Unfusable apps compile to the identical schedule
+#: under ``fuse=True`` -- the determinism matrix pins that axis.
+FUSED_APPS = ("gradpipe", "phasepipe")
+
+CASES = [(name, g, False) for name in APPS for g in GPU_COUNTS] +         [(name, g, True) for name in FUSED_APPS for g in GPU_COUNTS]
 
 
-def golden_path(app: str, ngpus: int) -> str:
-    return os.path.join(GOLDEN_DIR, f"{app}-{ngpus}gpu.json")
+def golden_path(app: str, ngpus: int, fuse: bool = False) -> str:
+    suffix = "-fused" if fuse else ""
+    return os.path.join(GOLDEN_DIR, f"{app}-{ngpus}gpu{suffix}.json")
 
 
 def machine_for(ngpus: int):
@@ -27,14 +36,15 @@ def machine_for(ngpus: int):
 
 
 @functools.lru_cache(maxsize=None)
-def traced_run(app: str, ngpus: int):
-    """One traced tiny-workload run per (app, ngpus), cached per session."""
+def traced_run(app: str, ngpus: int, fuse: bool = False):
+    """One traced tiny-workload run per case, cached per session."""
     spec = APPS[app]
-    prog = compile_acc(spec.source)
+    prog = compile_acc(spec.source, CompileOptions(fuse=True) if fuse
+                       else None)
     return prog.run(spec.entry, spec.args_for("tiny"),
                     machine=machine_for(ngpus), ngpus=ngpus, trace=True)
 
 
-def load_golden(app: str, ngpus: int) -> dict:
-    with open(golden_path(app, ngpus)) as f:
+def load_golden(app: str, ngpus: int, fuse: bool = False) -> dict:
+    with open(golden_path(app, ngpus, fuse)) as f:
         return json.load(f)

@@ -21,34 +21,35 @@ from repro.trace.golden import check_invariants, diff, normalize
 
 from .common import CASES, golden_path, load_golden, traced_run
 
-CASE_IDS = [f"{app}-{g}gpu" for app, g in CASES]
+CASE_IDS = [f"{app}-{g}gpu" + ("-fused" if fuse else "")
+            for app, g, fuse in CASES]
 
 
-@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
-def test_trace_invariants(app, ngpus):
-    run = traced_run(app, ngpus)
+@pytest.mark.parametrize(("app", "ngpus", "fuse"), CASES, ids=CASE_IDS)
+def test_trace_invariants(app, ngpus, fuse):
+    run = traced_run(app, ngpus, fuse)
     assert run.tracer is not None
     check_invariants(run.tracer)
 
 
-@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
-def test_trace_matches_golden(app, ngpus):
-    path = golden_path(app, ngpus)
+@pytest.mark.parametrize(("app", "ngpus", "fuse"), CASES, ids=CASE_IDS)
+def test_trace_matches_golden(app, ngpus, fuse):
+    path = golden_path(app, ngpus, fuse)
     assert os.path.exists(path), (
-        f"no golden for {app} ngpus={ngpus}; run "
+        f"no golden for {app} ngpus={ngpus} fuse={fuse}; run "
         "tests/trace_golden/update_goldens.py")
-    run = traced_run(app, ngpus)
+    run = traced_run(app, ngpus, fuse)
     summary = normalize(run.tracer)
-    problems = diff(summary, load_golden(app, ngpus))
+    problems = diff(summary, load_golden(app, ngpus, fuse))
     assert not problems, "\n".join(problems)
 
 
-@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
-def test_trace_reconciles_with_breakdown(app, ngpus):
+@pytest.mark.parametrize(("app", "ngpus", "fuse"), CASES, ids=CASE_IDS)
+def test_trace_reconciles_with_breakdown(app, ngpus, fuse):
     """Fig. 8 accounting identity: traced category seconds equal the
     profiler's reported breakdown exactly (``other`` to float
     tolerance, being a subtraction in the profiler)."""
-    run = traced_run(app, ngpus)
+    run = traced_run(app, ngpus, fuse)
     rows = reconcile(run.tracer, run.breakdown)
     for bucket, row in rows.items():
         tol = 1e-9 if bucket == "other" else 0.0
@@ -57,10 +58,10 @@ def test_trace_reconciles_with_breakdown(app, ngpus):
             f"{row['reported']!r}")
 
 
-@pytest.mark.parametrize(("app", "ngpus"), CASES, ids=CASE_IDS)
-def test_trace_byte_totals_match_bus(app, ngpus):
+@pytest.mark.parametrize(("app", "ngpus", "fuse"), CASES, ids=CASE_IDS)
+def test_trace_byte_totals_match_bus(app, ngpus, fuse):
     """Traced transfer bytes equal what the bus actually moved."""
-    run = traced_run(app, ngpus)
+    run = traced_run(app, ngpus, fuse)
     summary = normalize(run.tracer)
     bus = run.platform.bus
     for kind in ("h2d", "d2h", "p2p"):

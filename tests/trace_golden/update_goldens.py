@@ -31,11 +31,11 @@ from tests.trace_golden.common import (  # noqa: E402
 
 def main() -> int:
     os.makedirs(GOLDEN_DIR, exist_ok=True)
-    for app, ngpus in CASES:
-        run = traced_run(app, ngpus)
+    for app, ngpus, fuse in CASES:
+        run = traced_run(app, ngpus, fuse)
         check_invariants(run.tracer)
         summary = normalize(run.tracer)
-        path = golden_path(app, ngpus)
+        path = golden_path(app, ngpus, fuse)
         with open(path, "w") as f:
             json.dump(summary, f, indent=1, sort_keys=False)
             f.write("\n")
