@@ -242,8 +242,23 @@ class AccProgram:
         )
 
 
-def compile(source: str, options: CompileOptions | None = None) -> AccProgram:  # noqa: A001
-    """Compile OpenACC C source (with the multi-GPU extensions)."""
+def compile(source: str, options: CompileOptions | None = None,
+            registry: Any | None = None) -> AccProgram:  # noqa: A001
+    """Compile OpenACC C source (with the multi-GPU extensions).
+
+    ``registry`` may name a :class:`repro.serve.ProgramRegistry` (or a
+    directory path for one): compilation then consults the persistent
+    on-disk compiled-program store first and persists fresh
+    translations, so a second process compiling the same source with
+    the same options loads it from disk instead of re-translating.
+    """
+    if registry is not None:
+        from .serve.registry import ProgramRegistry
+
+        if not isinstance(registry, ProgramRegistry):
+            registry = ProgramRegistry(registry)
+        compiled, _ = registry.load_or_compile(source, options)
+        return AccProgram(compiled)
     return AccProgram(compile_source(source, options))
 
 

@@ -1,0 +1,280 @@
+"""Admission and placement over a shared modeled GPU fleet.
+
+The paper models one OpenACC program owning the whole machine; the
+program service instead packs *many* independent programs onto disjoint
+GPU-slot subsets of one large fleet.  This module is the decision core,
+deliberately free of threads and clocks so it unit-tests directly:
+
+* :class:`FleetState` tracks, per GPU slot, a byte-accounted
+  :class:`~repro.vcuda.memory.MemoryAccountant` (the same allocator
+  bookkeeping the virtual devices use) holding the admission
+  reservations of the programs currently placed there;
+* :func:`plan_placement` is memory-aware best-fit bin-packing: it
+  picks the requested number of free slots whose capacity covers the
+  request's per-GPU byte estimate, preferring slots that share an I/O
+  hub (halo and replica traffic between a program's GPUs stays off the
+  QPI) and, among candidates, the *smallest*-capacity slots that fit
+  (best-fit decreasing keeps large-memory slots free for large
+  requests on heterogeneous fleets);
+* :class:`FifoPolicy` / :class:`FairSharePolicy` decide *which* queued
+  request to admit next: strict arrival order (head-of-line blocking
+  and all) versus tenant round-robin in least-recently-admitted order.
+
+Oversized requests -- ones the *idle* fleet could never host -- are
+rejected with a structured :class:`AdmissionError` instead of queueing
+forever; everything else queues when the fleet is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..vcuda.memory import MemoryAccountant, OutOfDeviceMemory, PURPOSE_USER
+from ..vcuda.specs import MachineSpec
+
+#: Admission-estimate slack: the runtime allocates system data (dirty
+#: bitmaps, miss buffers, reduction scratch) next to user arrays; the
+#: Fig. 9 measurements put it well under this fraction of user bytes.
+SYSTEM_OVERHEAD_FRACTION = 0.25
+
+
+class AdmissionError(ValueError):
+    """Structured rejection: ``code`` is machine-readable.
+
+    Codes: ``oversized_gpus`` (more GPUs than the fleet has),
+    ``oversized_memory`` (per-GPU bytes exceed every slot's capacity,
+    or too few big-enough slots exist), ``queue_full`` (the bounded
+    queue is at capacity).
+    """
+
+    def __init__(self, code: str, message: str, **details: Any) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.details = details
+
+
+def estimate_request_bytes(args: dict[str, Any]) -> int:
+    """Conservative per-GPU device-byte estimate for one request.
+
+    Replica placement duplicates every array on every GPU, so the sum
+    of the argument arrays' bytes is the per-GPU worst case; the
+    system-data overhead fraction covers dirty bitmaps and miss
+    buffers.  Callers with better knowledge (distributed placement,
+    paper-scale inputs) pass an explicit estimate instead.
+    """
+    user = sum(int(v.nbytes) for v in args.values()
+               if isinstance(v, np.ndarray))
+    return int(user * (1 + SYSTEM_OVERHEAD_FRACTION))
+
+
+@dataclass
+class SlotState:
+    """One GPU slot of the fleet."""
+
+    index: int
+    hub: int
+    capacity: int
+    accountant: MemoryAccountant
+    #: Request id currently placed here (None = free).  One slot hosts
+    #: at most one program: the virtual platform gives an admitted
+    #: program the whole device, so "busy" is binary even though the
+    #: accountant tracks exact reserved bytes.
+    owner: str | None = None
+
+    @property
+    def free(self) -> bool:
+        return self.owner is None
+
+
+class FleetState:
+    """Slot occupancy + byte reservations for one shared fleet."""
+
+    def __init__(self, fleet: MachineSpec) -> None:
+        self.fleet = fleet
+        self.slots = [
+            SlotState(index=i, hub=fleet.hub_of(i),
+                      capacity=spec.mem_capacity,
+                      accountant=MemoryAccountant(capacity=spec.mem_capacity))
+            for i, spec in enumerate(fleet.gpu_specs)
+        ]
+
+    @property
+    def free_slots(self) -> list[SlotState]:
+        return [s for s in self.slots if s.free]
+
+    @property
+    def busy_count(self) -> int:
+        return sum(1 for s in self.slots if not s.free)
+
+    def check_admissible(self, ngpus: int, bytes_per_gpu: int) -> None:
+        """Raise :class:`AdmissionError` if the *idle* fleet could not
+        host this request (such a request must be rejected, not queued:
+        no amount of waiting frees enough capacity)."""
+        if ngpus > len(self.slots):
+            raise AdmissionError(
+                "oversized_gpus",
+                f"request wants {ngpus} GPUs; fleet has {len(self.slots)}",
+                ngpus=ngpus, fleet_gpus=len(self.slots))
+        big_enough = [s for s in self.slots if s.capacity >= bytes_per_gpu]
+        if len(big_enough) < ngpus:
+            raise AdmissionError(
+                "oversized_memory",
+                f"request wants {bytes_per_gpu} bytes on each of {ngpus} "
+                f"GPUs; only {len(big_enough)} slots have that capacity",
+                bytes_per_gpu=bytes_per_gpu, ngpus=ngpus,
+                eligible_slots=len(big_enough))
+
+    def reserve(self, request_id: str, slots: Sequence[int],
+                bytes_per_gpu: int) -> None:
+        """Mark ``slots`` busy and reserve the admission bytes."""
+        for i in slots:
+            slot = self.slots[i]
+            assert slot.free, f"slot {i} already owned by {slot.owner}"
+            try:
+                slot.accountant.allocate(bytes_per_gpu, PURPOSE_USER)
+            except OutOfDeviceMemory:
+                # plan_placement only offers slots that fit, so this is
+                # a scheduler bug, not a caller error.
+                raise AssertionError(
+                    f"placement reserved slot {i} beyond capacity") from None
+            slot.owner = request_id
+
+    def release(self, request_id: str, slots: Sequence[int],
+                bytes_per_gpu: int) -> None:
+        for i in slots:
+            slot = self.slots[i]
+            assert slot.owner == request_id
+            slot.accountant.free(bytes_per_gpu, PURPOSE_USER)
+            slot.owner = None
+
+    def utilization(self) -> float:
+        """Busy fraction of the fleet's slots right now."""
+        return self.busy_count / len(self.slots)
+
+
+def plan_placement(state: FleetState, ngpus: int,
+                   bytes_per_gpu: int) -> list[int] | None:
+    """Pick ``ngpus`` disjoint free slots, or ``None`` (caller queues).
+
+    Best-fit bin-packing: candidate slots are the free ones whose
+    capacity covers the estimate.  Slots are grouped per I/O hub; a hub
+    that can host the whole request alone is preferred (fewest leftover
+    free slots first -- best fit, so small requests fill fragmented
+    hubs and leave whole hubs free for wide requests).  Within a hub,
+    smallest capacity first.  When no single hub suffices, the request
+    spans hubs (capacity-ascending, then index) and pays the cross-hub
+    penalty its carved :meth:`~repro.vcuda.specs.MachineSpec.subset`
+    models.
+    """
+    fits = [s for s in state.free_slots if s.capacity >= bytes_per_gpu]
+    if len(fits) < ngpus:
+        return None
+    by_hub: dict[int, list[SlotState]] = {}
+    for s in fits:
+        by_hub.setdefault(s.hub, []).append(s)
+    hosting = [(len(slots), hub) for hub, slots in by_hub.items()
+               if len(slots) >= ngpus]
+    if hosting:
+        _, hub = min(hosting)
+        pool = by_hub[hub]
+    else:
+        pool = fits
+    pool = sorted(pool, key=lambda s: (s.capacity, s.index))
+    return sorted(s.index for s in pool[:ngpus])
+
+
+# ---------------------------------------------------------------------------
+# Queue policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueueEntry:
+    """What a policy sees about one queued request."""
+
+    request_id: str
+    tenant: str
+    ngpus: int
+    bytes_per_gpu: int
+    #: Monotone arrival number (FIFO order).
+    arrival: int
+    payload: Any = None
+
+
+class FifoPolicy:
+    """Strict arrival order.  The head queues until it fits; nothing
+    overtakes it (predictable, but a wide request blocks the line)."""
+
+    name = "fifo"
+
+    def pick(self, queue: Sequence[QueueEntry],
+             state: FleetState) -> QueueEntry | None:
+        if not queue:
+            return None
+        head = min(queue, key=lambda e: e.arrival)
+        if plan_placement(state, head.ngpus, head.bytes_per_gpu) is None:
+            return None
+        return head
+
+    def admitted(self, entry: QueueEntry) -> None:  # pragma: no cover
+        pass
+
+
+class FairSharePolicy:
+    """Tenant round-robin, least-recently-admitted tenant first.
+
+    Within a tenant, arrival order.  A tenant whose head request does
+    not currently fit is skipped (no head-of-line blocking across
+    tenants), so one tenant flooding the queue cannot starve the
+    others: after every admission the tenant moves to the back of the
+    rotation.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._rotation: list[str] = []
+
+    def _tenant_order(self, tenants: Iterable[str]) -> list[str]:
+        known = [t for t in self._rotation if t in set(tenants)]
+        new = sorted(set(tenants) - set(known))
+        # Never-admitted tenants are the least recently admitted of
+        # all: they go ahead of every tenant already in the rotation.
+        return new + known
+
+    def pick(self, queue: Sequence[QueueEntry],
+             state: FleetState) -> QueueEntry | None:
+        by_tenant: dict[str, list[QueueEntry]] = {}
+        for e in queue:
+            by_tenant.setdefault(e.tenant, []).append(e)
+        for tenant in self._tenant_order(by_tenant):
+            head = min(by_tenant[tenant], key=lambda e: e.arrival)
+            if plan_placement(state, head.ngpus, head.bytes_per_gpu) \
+                    is not None:
+                return head
+        return None
+
+    def admitted(self, entry: QueueEntry) -> None:
+        if entry.tenant in self._rotation:
+            self._rotation.remove(entry.tenant)
+        self._rotation.append(entry.tenant)
+
+
+POLICIES = {"fifo": FifoPolicy, "fair": FairSharePolicy}
+
+
+def make_policy(name: str):
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+
+
+__all__ = ["AdmissionError", "FairSharePolicy", "FifoPolicy", "FleetState",
+           "POLICIES", "QueueEntry", "SlotState", "SYSTEM_OVERHEAD_FRACTION",
+           "estimate_request_bytes", "make_policy", "plan_placement"]

@@ -31,9 +31,16 @@ from .events import (
     EVENT_P2P,
     EVENT_PLACEMENT_SWITCH,
     EVENT_RELOAD_SKIP,
+    EVENT_REQ_ADMITTED,
+    EVENT_REQ_COMPLETED,
+    EVENT_REQ_ENQUEUED,
+    EVENT_REQ_FAILED,
+    EVENT_REQ_PLACED,
+    EVENT_REQ_REJECTED,
     EVENT_RESPLIT,
     EVENT_WRITEBACK,
     INSTANT_KINDS,
+    REQUEST_KINDS,
     MECH_HALO,
     MECH_LOAD,
     MECH_MIGRATION,
@@ -74,8 +81,15 @@ __all__ = [
     "EVENT_P2P",
     "EVENT_PLACEMENT_SWITCH",
     "EVENT_RELOAD_SKIP",
+    "EVENT_REQ_ADMITTED",
+    "EVENT_REQ_COMPLETED",
+    "EVENT_REQ_ENQUEUED",
+    "EVENT_REQ_FAILED",
+    "EVENT_REQ_PLACED",
+    "EVENT_REQ_REJECTED",
     "EVENT_RESPLIT",
     "EVENT_WRITEBACK",
+    "REQUEST_KINDS",
     "Histogram",
     "INSTANT_KINDS",
     "MECH_HALO",

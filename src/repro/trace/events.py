@@ -39,13 +39,29 @@ EVENT_MIGRATION = "migration"
 EVENT_WRITEBACK = "writeback"
 EVENT_RESPLIT = "resplit"
 EVENT_PLACEMENT_SWITCH = "placement_switch"
+#: Program-service request lifecycle (:mod:`repro.serve`): one instant
+#: per admission-state transition, timestamped with wall seconds since
+#: service start (the service has no shared virtual clock -- each
+#: admitted program runs on its own carved sub-fleet).
+EVENT_REQ_ENQUEUED = "req_enqueued"
+EVENT_REQ_ADMITTED = "req_admitted"
+EVENT_REQ_PLACED = "req_placed"
+EVENT_REQ_COMPLETED = "req_completed"
+EVENT_REQ_FAILED = "req_failed"
+EVENT_REQ_REJECTED = "req_rejected"
 
 #: Kinds that occupy time on a lane (Chrome "complete" events).
 SPAN_KINDS = (EVENT_KERNEL, EVENT_H2D, EVENT_D2H, EVENT_P2P)
 #: Zero-duration marker kinds (Chrome "instant" events).
 INSTANT_KINDS = (EVENT_LOOP_BEGIN, EVENT_LOOP_END, EVENT_RELOAD_SKIP,
                  EVENT_LOAD, EVENT_MIGRATION, EVENT_WRITEBACK,
-                 EVENT_RESPLIT, EVENT_PLACEMENT_SWITCH)
+                 EVENT_RESPLIT, EVENT_PLACEMENT_SWITCH,
+                 EVENT_REQ_ENQUEUED, EVENT_REQ_ADMITTED, EVENT_REQ_PLACED,
+                 EVENT_REQ_COMPLETED, EVENT_REQ_FAILED, EVENT_REQ_REJECTED)
+
+#: The request-lifecycle kinds, in lifecycle order.
+REQUEST_KINDS = (EVENT_REQ_ENQUEUED, EVENT_REQ_ADMITTED, EVENT_REQ_PLACED,
+                 EVENT_REQ_COMPLETED, EVENT_REQ_FAILED, EVENT_REQ_REJECTED)
 
 # -- transfer mechanisms ----------------------------------------------------
 

@@ -233,6 +233,39 @@ class MachineSpec:
     def total_cpu_threads(self) -> int:
         return self.cpu_sockets * self.cpu.cores * self.cpu.threads_per_core
 
+    def subset(self, slots: tuple[int, ...] | list[int]) -> "MachineSpec":
+        """Carve a sub-machine out of this node's GPU slots.
+
+        The program service packs independent programs onto disjoint
+        slot subsets of one large fleet; each admitted program runs on
+        the :class:`MachineSpec` this returns.  Per-slot GPU specs and
+        I/O-hub assignments are preserved (renumbered contiguously), so
+        a request placed across two hubs still pays the cross-hub
+        peer-transfer penalty it would on the real node.  CPU and bus
+        are shared-machine resources and carry over unchanged.
+        """
+        slots = tuple(slots)
+        if not slots:
+            raise ValueError("subset needs at least one GPU slot")
+        if len(set(slots)) != len(slots):
+            raise ValueError(f"duplicate GPU slots in subset: {slots}")
+        for s in slots:
+            if not (0 <= s < self.gpu_count):
+                raise ValueError(
+                    f"slot {s} out of range for {self.name} "
+                    f"({self.gpu_count} GPUs)")
+        specs = self.gpu_specs
+        return MachineSpec(
+            name=f"{self.name} [slots {','.join(map(str, slots))}]",
+            cpu=self.cpu,
+            cpu_sockets=self.cpu_sockets,
+            gpu=self.gpu,
+            gpu_count=len(slots),
+            bus=self.bus,
+            gpu_hub=tuple(self.hub_of(s) for s in slots),
+            gpus=tuple(specs[s] for s in slots),
+        )
+
 
 DESKTOP_MACHINE = MachineSpec(
     name="Desktop Machine",

@@ -1,0 +1,238 @@
+"""Persistent compiled-program registry: round trips, corruption, restarts.
+
+The registry is a cache, not a database: every way an on-disk entry can
+be damaged (truncation anywhere in the file, flipped payload bytes, a
+foreign file under the right name) must degrade to "log, evict,
+recompile" -- never to an exception reaching the caller.  The pay-off
+it exists for is pinned too: a second *process* compiling the same
+source is a disk hit, and a revived program is observationally
+identical to the original (bit-identical arrays, identical modeled
+time).
+"""
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import ALL_APPS, EXTRA_APPS
+from repro.serve.registry import (
+    MAGIC,
+    ProgramRegistry,
+    freeze_program,
+    registry_key,
+    thaw_program,
+)
+from repro.translator.compiler import (
+    CompileOptions,
+    clear_compile_cache,
+    compile_source,
+)
+
+APPS = {**ALL_APPS, **EXTRA_APPS}
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ProgramRegistry(tmp_path / "registry")
+
+
+def _run_app(program, name, ngpus=2):
+    spec = APPS[name]
+    args = spec.args_for("tiny")
+    run = repro.AccProgram(program).run(spec.entry, args, ngpus=ngpus)
+    arrays = {k: v for k, v in args.items() if isinstance(v, np.ndarray)}
+    return arrays, run
+
+
+class TestFreezeThaw:
+    @pytest.mark.parametrize("app_name,options", [
+        ("stencil", None),
+        ("md", None),
+        ("bfs", None),
+        ("gradpipe", CompileOptions(fuse=True)),
+        ("phasepipe", CompileOptions(fuse=True)),
+    ])
+    def test_revived_program_is_observationally_identical(
+            self, app_name, options):
+        spec = APPS[app_name]
+        original = compile_source(spec.source, options, cache=False)
+        revived = thaw_program(freeze_program(original))
+        base, run0 = _run_app(original, app_name)
+        got, run1 = _run_app(revived, app_name)
+        for name in base:
+            np.testing.assert_array_equal(got[name], base[name],
+                                          err_msg=f"{app_name}.{name}")
+        assert run1.elapsed == run0.elapsed
+        assert run1.kernel_launches == run0.kernel_launches
+
+    def test_freeze_leaves_the_original_runnable(self):
+        """Freezing must not strip the live program's kernel callables."""
+        spec = APPS["stencil"]
+        original = compile_source(spec.source, cache=False)
+        freeze_program(original)
+        assert all(p.fn is not None for p in original.plans
+                   if p.source_info is not None)
+
+
+class TestKeys:
+    def test_every_option_field_changes_the_entry_path(self, registry):
+        import dataclasses
+        src = APPS["stencil"].source
+        paths = {registry.path_for(src, None)}
+        for f in dataclasses.fields(CompileOptions):
+            flipped = CompileOptions(
+                **{f.name: not getattr(CompileOptions(), f.name)})
+            paths.add(registry.path_for(src, flipped))
+        assert len(paths) == 1 + len(dataclasses.fields(CompileOptions))
+
+    def test_default_and_none_share_an_entry(self, registry):
+        src = APPS["stencil"].source
+        assert registry.path_for(src, None) == \
+            registry.path_for(src, CompileOptions())
+
+    def test_distinct_sources_distinct_entries(self):
+        assert registry_key(APPS["md"].source) != \
+            registry_key(APPS["bfs"].source)
+
+
+class TestCorruptEntries:
+    def _store(self, registry, app_name="stencil"):
+        spec = APPS[app_name]
+        compiled = compile_source(spec.source, cache=False)
+        path = registry.put(spec.source, None, compiled)
+        # Evict the in-process front so get() really reads the disk.
+        registry._memory.clear()
+        return spec.source, path
+
+    def test_round_trip_via_disk(self, registry):
+        source, path = self._store(registry)
+        assert path.exists()
+        assert registry.get(source) is not None
+
+    @pytest.mark.parametrize("keep", [0, 3, 7, 20, 47, 200, -1])
+    def test_truncation_anywhere_evicts_and_misses(self, registry, keep):
+        """Cut the file inside the magic, the header, the checksum, or
+        mid-payload: every prefix must behave like a miss."""
+        source, path = self._store(registry)
+        blob = path.read_bytes()
+        assert len(blob) > 200
+        path.write_bytes(blob[:keep] if keep >= 0 else blob[:-1])
+        assert registry.get(source) is None
+        assert not path.exists(), "corrupt entry must be evicted"
+        assert registry.stats_snapshot()["corrupt_evictions"] == 1
+
+    def test_flipped_payload_byte_fails_checksum(self, registry):
+        source, path = self._store(registry)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert registry.get(source) is None
+        assert not path.exists()
+
+    def test_foreign_file_is_evicted_not_raised(self, registry):
+        source, path = self._store(registry)
+        path.write_bytes(b"this is not a frozen program")
+        assert registry.get(source) is None
+        assert not path.exists()
+
+    def test_unpicklable_payload_with_valid_checksum(self, registry):
+        """Checksum-valid garbage (a bad writer, not bitrot) still
+        degrades to a miss."""
+        import hashlib
+        import struct
+        source, path = self._store(registry)
+        payload = b"\x80\x04garbage-that-will-not-unpickle"
+        header = struct.Struct(">8sQ32s").pack(
+            MAGIC, len(payload), hashlib.sha256(payload).digest())
+        path.write_bytes(header + payload)
+        assert registry.get(source) is None
+        assert not path.exists()
+
+    def test_corrupt_entry_recompiles_and_heals(self, registry):
+        source, path = self._store(registry)
+        path.write_bytes(path.read_bytes()[:50])
+        program, outcome = registry.load_or_compile(source)
+        assert outcome == "compiled"
+        assert path.exists(), "recompilation must re-persist the entry"
+        _run_app(program, "stencil")
+
+
+class TestLoadOrCompile:
+    def test_outcome_ladder(self, registry):
+        src = APPS["jacobi"].source
+        _, first = registry.load_or_compile(src)
+        _, second = registry.load_or_compile(src)
+        assert (first, second) == ("compiled", "hit_memory")
+        fresh = ProgramRegistry(registry.root)  # same dir, new process-front
+        _, third = fresh.load_or_compile(src)
+        _, fourth = fresh.load_or_compile(src)
+        assert (third, fourth) == ("hit_disk", "hit_memory")
+
+    def test_single_flight_under_contention(self, registry):
+        clear_compile_cache()
+        src = APPS["heat2d"].source
+        n = 12
+        barrier = threading.Barrier(n)
+        results, errors = [None] * n, []
+
+        def worker(i):
+            barrier.wait()
+            try:
+                results[i] = registry.load_or_compile(src)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        programs = {id(p) for p, _ in results}
+        assert len(programs) == 1, "contending threads must share one program"
+        assert registry.stats_snapshot()["compiles"] == 1
+        assert sum(1 for _, o in results if o == "compiled") == 1
+
+
+class TestProcessRestart:
+    SCRIPT = """\
+import sys
+import repro
+from repro.apps import ALL_APPS, EXTRA_APPS
+from repro.serve.registry import ProgramRegistry
+
+registry = ProgramRegistry(sys.argv[1])
+spec = {**ALL_APPS, **EXTRA_APPS}["stencil"]
+program, outcome = registry.load_or_compile(spec.source)
+args = spec.args_for("tiny")
+repro.AccProgram(program).run(spec.entry, args, ngpus=2)
+print("outcome:" + outcome)
+print("checksum:" + repr(float(args[spec.outputs[0]].sum())))
+"""
+
+    def test_second_process_hits_disk_with_identical_results(self, tmp_path):
+        """The acceptance-criteria restart: compile, restart the
+        process, observe a disk hit and bit-identical results."""
+        reg_dir = str(tmp_path / "registry")
+
+        def run_once():
+            proc = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT, reg_dir],
+                env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"},
+                capture_output=True, text=True, timeout=300, cwd=REPO)
+            assert proc.returncode == 0, proc.stderr
+            out = dict(line.split(":", 1) for line in
+                       proc.stdout.strip().splitlines())
+            return out["outcome"], out["checksum"]
+
+        first, second = run_once(), run_once()
+        assert first[0] == "compiled"
+        assert second[0] == "hit_disk"
+        assert first[1] == second[1]

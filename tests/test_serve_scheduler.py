@@ -1,0 +1,194 @@
+"""Admission/placement scheduler unit tests (no threads, no clocks).
+
+The scheduler decides three things -- can a request ever run
+(admissibility), where does it run (memory-aware best-fit bin-packing
+over GPU slots), and who goes next (FIFO vs tenant-fair) -- and each is
+pinned here directly against :class:`FleetState`, including the
+byte-accounted reservations flowing through the same
+:class:`~repro.vcuda.memory.MemoryAccountant` the virtual devices use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.machines import hypothetical_node, mixed_node
+from repro.serve.scheduler import (
+    AdmissionError,
+    FairSharePolicy,
+    FifoPolicy,
+    FleetState,
+    QueueEntry,
+    SYSTEM_OVERHEAD_FRACTION,
+    estimate_request_bytes,
+    plan_placement,
+)
+from repro.vcuda.specs import GB
+
+
+def fleet16():
+    return FleetState(hypothetical_node(16, gpus_per_hub=4))
+
+
+def entry(request_id, tenant="t", ngpus=1, bytes_per_gpu=1024, arrival=0):
+    return QueueEntry(request_id=request_id, tenant=tenant, ngpus=ngpus,
+                      bytes_per_gpu=bytes_per_gpu, arrival=arrival)
+
+
+class TestEstimate:
+    def test_counts_array_bytes_plus_system_overhead(self):
+        args = {"n": 100, "a": np.zeros(1000, np.float32),
+                "b": np.zeros(500, np.float64)}
+        user = 1000 * 4 + 500 * 8
+        assert estimate_request_bytes(args) == \
+            int(user * (1 + SYSTEM_OVERHEAD_FRACTION))
+
+    def test_scalar_only_request_is_zero(self):
+        assert estimate_request_bytes({"n": 4, "eps": 0.5}) == 0
+
+
+class TestAdmissibility:
+    def test_too_many_gpus_is_structured(self):
+        with pytest.raises(AdmissionError) as exc:
+            fleet16().check_admissible(ngpus=17, bytes_per_gpu=1)
+        assert exc.value.code == "oversized_gpus"
+        assert exc.value.details["fleet_gpus"] == 16
+
+    def test_oversized_memory_is_structured(self):
+        state = fleet16()  # M2050 slots: 3 GB each
+        with pytest.raises(AdmissionError) as exc:
+            state.check_admissible(ngpus=1, bytes_per_gpu=4 * GB)
+        assert exc.value.code == "oversized_memory"
+
+    def test_mixed_fleet_counts_only_big_enough_slots(self):
+        # mixed_node: 2x M2050 (3 GB) + 2x C1060 (4 GB).
+        state = FleetState(mixed_node(fast=2, slow=2))
+        state.check_admissible(ngpus=2, bytes_per_gpu=int(3.5 * GB))
+        with pytest.raises(AdmissionError) as exc:
+            state.check_admissible(ngpus=3, bytes_per_gpu=int(3.5 * GB))
+        assert exc.value.code == "oversized_memory"
+        assert exc.value.details["eligible_slots"] == 2
+
+    def test_fitting_request_passes(self):
+        fleet16().check_admissible(ngpus=16, bytes_per_gpu=GB)
+
+
+class TestPlacement:
+    def test_disjoint_slots_across_requests(self):
+        state = fleet16()
+        seen = set()
+        for rid in range(8):
+            slots = plan_placement(state, ngpus=2, bytes_per_gpu=1024)
+            assert slots is not None and len(slots) == 2
+            assert not (set(slots) & seen)
+            seen |= set(slots)
+            state.reserve(f"r{rid}", slots, 1024)
+        assert plan_placement(state, 1, 1024) is None  # fleet full
+
+    def test_prefers_single_hub(self):
+        state = fleet16()  # hubs of 4
+        slots = plan_placement(state, ngpus=4, bytes_per_gpu=1024)
+        assert len({state.slots[s].hub for s in slots}) == 1
+
+    def test_best_fit_leaves_whole_hubs_for_wide_requests(self):
+        state = fleet16()
+        # Fragment hub 0: take 3 of its 4 slots.
+        state.reserve("frag", [0, 1, 2], 1024)
+        # A 1-GPU request should fill fragmented hub 0 (best fit),
+        # not break a pristine hub.
+        slots = plan_placement(state, ngpus=1, bytes_per_gpu=1024)
+        assert slots == [3]
+
+    def test_spans_hubs_when_no_single_hub_fits(self):
+        state = fleet16()
+        slots = plan_placement(state, ngpus=6, bytes_per_gpu=1024)
+        assert len(slots) == 6
+        assert len({state.slots[s].hub for s in slots}) > 1
+
+    def test_memory_filter_excludes_small_slots(self):
+        # Alternating M2050 (3 GB) / C1060 (4 GB) slots.
+        state = FleetState(mixed_node(fast=2, slow=2))
+        big = int(3.5 * GB)
+        slots = plan_placement(state, ngpus=2, bytes_per_gpu=big)
+        assert slots is not None
+        for s in slots:
+            assert state.slots[s].capacity >= big
+        state.reserve("big", slots, big)
+        assert plan_placement(state, 1, big) is None  # both 4 GB slots busy
+        assert plan_placement(state, 1, GB) is not None  # 3 GB ones fit this
+
+    def test_best_fit_prefers_smallest_capacity_that_fits(self):
+        state = FleetState(mixed_node(fast=2, slow=2))
+        slots = plan_placement(state, ngpus=1, bytes_per_gpu=GB)
+        # 3 GB M2050 slots sort before the 4 GB C1060s.
+        assert state.slots[slots[0]].capacity == 3 * GB
+
+
+class TestReservationAccounting:
+    def test_reserve_release_round_trip(self):
+        state = fleet16()
+        state.reserve("r", [0, 1], 4096)
+        assert state.busy_count == 2
+        assert state.slots[0].accountant.live_total == 4096
+        assert state.utilization() == 2 / 16
+        state.release("r", [0, 1], 4096)
+        assert state.busy_count == 0
+        assert state.slots[0].accountant.live_total == 0
+
+    def test_double_release_is_a_loud_bug(self):
+        state = fleet16()
+        state.reserve("r", [0], 4096)
+        state.release("r", [0], 4096)
+        with pytest.raises(AssertionError):
+            state.release("r", [0], 4096)
+
+
+class TestFifoPolicy:
+    def test_strict_arrival_order(self):
+        state, policy = fleet16(), FifoPolicy()
+        q = [entry("b", arrival=1), entry("a", arrival=0)]
+        assert policy.pick(q, state).request_id == "a"
+
+    def test_head_of_line_blocks(self):
+        state, policy = fleet16(), FifoPolicy()
+        state.reserve("busy", list(range(15)), 1024)  # one slot left
+        q = [entry("wide", ngpus=4, arrival=0), entry("thin", arrival=1)]
+        # The 4-GPU head cannot be placed; FIFO refuses to let the
+        # 1-GPU request overtake it.
+        assert policy.pick(q, state) is None
+
+
+class TestFairSharePolicy:
+    def test_round_robin_across_tenants(self):
+        state, policy = fleet16(), FairSharePolicy()
+        q = [entry("a0", tenant="a", arrival=0),
+             entry("a1", tenant="a", arrival=1),
+             entry("b0", tenant="b", arrival=2)]
+        first = policy.pick(q, state)
+        assert first.request_id == "a0"
+        policy.admitted(first)
+        q.remove(first)
+        second = policy.pick(q, state)
+        assert second.request_id == "b0", (
+            "after admitting tenant a, tenant b must go next even though "
+            "a1 arrived earlier")
+
+    def test_flooding_tenant_cannot_starve_another(self):
+        state, policy = fleet16(), FairSharePolicy()
+        q = [entry(f"a{i}", tenant="a", arrival=i) for i in range(10)]
+        q.append(entry("b0", tenant="b", arrival=10))
+        admitted = []
+        for _ in range(3):
+            e = policy.pick(q, state)
+            policy.admitted(e)
+            q.remove(e)
+            admitted.append(e.request_id)
+        assert "b0" in admitted[:2]
+
+    def test_skips_tenant_whose_head_does_not_fit(self):
+        state, policy = fleet16(), FairSharePolicy()
+        state.reserve("busy", list(range(14)), 1024)  # two slots left
+        q = [entry("wide", tenant="a", ngpus=8, arrival=0),
+             entry("thin", tenant="b", ngpus=1, arrival=1)]
+        picked = policy.pick(q, state)
+        assert picked.request_id == "thin", (
+            "fair policy must skip a tenant whose head cannot be placed")
