@@ -29,7 +29,8 @@ from .api import (AccProgram, ProgramRun, TimelineEvent, compile,
                   compile_fortran, format_timeline)
 from .sanitizer import CoherenceViolation
 from .translator.compiler import CompileError, CompileOptions
-from .vcuda.specs import DESKTOP_MACHINE, MACHINES, SUPERCOMPUTER_NODE
+from .vcuda.specs import (CLUSTERS, DESKTOP_MACHINE, MACHINES,
+                          SUPERCOMPUTER_NODE, TSUBAME_CLUSTER, cluster_of)
 
 __version__ = "1.0.0"
 
@@ -44,7 +45,10 @@ __all__ = [
     "CompileError",
     "CoherenceViolation",
     "MACHINES",
+    "CLUSTERS",
     "DESKTOP_MACHINE",
     "SUPERCOMPUTER_NODE",
+    "TSUBAME_CLUSTER",
+    "cluster_of",
     "__version__",
 ]

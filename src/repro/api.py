@@ -38,14 +38,14 @@ from .translator.host import HostExecutor, RunResult
 from .vcuda.api import Platform
 from .vcuda.memory import PURPOSE_SYSTEM, PURPOSE_USER
 from .vcuda.profiler import TimeBreakdown
-from .vcuda.specs import MACHINES, MachineSpec
+from .vcuda.specs import CLUSTERS, MACHINES, ClusterSpec, MachineSpec
 
 
 @dataclass(frozen=True)
 class TimelineEvent:
     """One scheduled operation in virtual time."""
 
-    kind: str  # 'kernel' | 'h2d' | 'd2h' | 'p2p'
+    kind: str  # 'kernel' | 'h2d' | 'd2h' | 'p2p' | 'net'
     label: str
     resource: str
     start: float
@@ -110,6 +110,8 @@ class ProgramRun:
                 resource = f"pcie->gpu{t.dst_device}"
             elif t.kind == "d2h":
                 resource = f"pcie<-gpu{t.src_device}"
+            elif t.kind == "net":
+                resource = f"nic node{t.src_node}->node{t.dst_node}"
             else:
                 resource = f"p2p gpu{t.src_device}->gpu{t.dst_device}"
             events.append(TimelineEvent(
@@ -151,7 +153,7 @@ class AccProgram:
         self,
         entry: str,
         args: dict[str, Any],
-        machine: str | MachineSpec = "desktop",
+        machine: str | MachineSpec | ClusterSpec = "desktop",
         ngpus: int = 1,
         engine: str = "vector",
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
@@ -163,6 +165,7 @@ class AccProgram:
         sanitize: bool | None = None,
         trace: bool | None = None,
         fastpath: bool = True,
+        internode: str = "staged",
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
@@ -202,12 +205,26 @@ class AccProgram:
         knob: results, modeled time and transfer bytes are bit-identical
         either way (the determinism matrix pins this); the wall-clock
         benchmarks use it as the "before" baseline.
+
+        ``machine`` may also be a :class:`~repro.vcuda.specs.ClusterSpec`
+        (or a name from :data:`repro.vcuda.specs.CLUSTERS`): GPUs across
+        all nodes flatten into one index space and every flag above runs
+        unmodified.  ``internode`` selects the cross-node transport on
+        clusters: ``"staged"`` (default) aggregates coherence traffic
+        per node pair -- gather to the node host, one NIC transfer,
+        scatter on arrival -- while ``"naive"`` ships one NIC transfer
+        per GPU pair.  Both are timing-only knobs; single-node runs
+        never touch the NIC and ignore the choice.
         """
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
         if trace is None:
             trace = os.environ.get("REPRO_TRACE", "") not in ("", "0")
-        spec = MACHINES[machine] if isinstance(machine, str) else machine
+        if isinstance(machine, str):
+            spec = (CLUSTERS[machine] if machine in CLUSTERS
+                    else MACHINES[machine])
+        else:
+            spec = machine
         platform = Platform(spec, ngpus)
         loader = DataLoader(platform, chunk_bytes=chunk_bytes,
                             reload_skipping=reload_skipping,
@@ -228,7 +245,8 @@ class AccProgram:
                                tree_reduction=tree_reduction,
                                overlap=overlap, coalesce=coalesce,
                                adaptive=adaptive, sanitizer=sanitizer,
-                               tracer=tracer, fastpath=fastpath)
+                               tracer=tracer, fastpath=fastpath,
+                               internode=internode)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(
@@ -295,9 +313,11 @@ def format_timeline(events: list[TimelineEvent], width: int = 60) -> str:
         for e in by_resource[resource]:
             a = int(e.start / t1 * (width - 1))
             b = max(a + 1, int(e.end / t1 * (width - 1)) + 1)
-            ch = {"kernel": "#", "h2d": ">", "d2h": "<", "p2p": "="}[e.kind]
+            ch = {"kernel": "#", "h2d": ">", "d2h": "<", "p2p": "=",
+                  "net": "~"}[e.kind]
             for c in range(a, min(b, width)):
                 row[c] = ch
         lines.append(f"{resource:{label_w}}  {''.join(row)}")
-    lines.append(f"{'':{label_w}}  # kernel   > h2d   < d2h   = p2p")
+    lines.append(
+        f"{'':{label_w}}  # kernel   > h2d   < d2h   = p2p   ~ net")
     return "\n".join(lines)

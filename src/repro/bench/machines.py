@@ -8,26 +8,50 @@ projection benchmarks use.
 from __future__ import annotations
 
 from ..vcuda.specs import (
+    CLUSTERS,
     DESKTOP_MACHINE,
     MACHINES,
+    ClusterSpec,
     MachineSpec,
+    NicSpec,
     PCIE_GEN2_TSUBAME,
     SUPERCOMPUTER_NODE,
     TESLA_C1060,
     TESLA_M2050,
     XEON_X5670,
+    cluster_of,
 )
 
 
-def machine(name: str | MachineSpec) -> MachineSpec:
-    """Resolve a machine by Table I key or pass a spec through."""
-    if isinstance(name, MachineSpec):
+def machine(name: str | MachineSpec | ClusterSpec) -> MachineSpec | ClusterSpec:
+    """Resolve a machine by Table I / cluster key or pass a spec through."""
+    if isinstance(name, (MachineSpec, ClusterSpec)):
         return name
+    if name in CLUSTERS:
+        return CLUSTERS[name]
     try:
         return MACHINES[name]
     except KeyError:
         raise KeyError(
-            f"unknown machine {name!r}; known: {sorted(MACHINES)}") from None
+            f"unknown machine {name!r}; known: "
+            f"{sorted(MACHINES) + sorted(CLUSTERS)}") from None
+
+
+def hypothetical_cluster(nodes: int, gpus_per_node: int,
+                         nic: NicSpec | None = None) -> ClusterSpec:
+    """A what-if cluster of identical :func:`hypothetical_node` nodes.
+
+    The multi-node scaling and internode-ablation benchmarks use this
+    to sweep node x GPU topologies that the paper's single node cannot
+    express.
+    """
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    node = hypothetical_node(gpus_per_node)
+    kwargs = {} if nic is None else {"nic": nic}
+    return cluster_of(nodes, node,
+                      name=f"Hypothetical {nodes}x{gpus_per_node} cluster",
+                      **kwargs)
 
 
 def hypothetical_node(gpu_count: int, gpus_per_hub: int = 4) -> MachineSpec:
@@ -86,5 +110,6 @@ def mixed_node(fast: int = 2, slow: int = 2,
     )
 
 
-__all__ = ["machine", "hypothetical_node", "mixed_node", "MACHINES",
-           "DESKTOP_MACHINE", "SUPERCOMPUTER_NODE"]
+__all__ = ["machine", "hypothetical_node", "hypothetical_cluster",
+           "mixed_node", "MACHINES", "CLUSTERS", "DESKTOP_MACHINE",
+           "SUPERCOMPUTER_NODE"]

@@ -299,6 +299,10 @@ def main(argv: list[str] | None = None) -> int:
     src.add_argument("file", nargs="?", help="OpenACC source file")
     src.add_argument("--app", metavar="NAME",
                      help="explain a bundled application instead of a file")
+    src.add_argument("--topology", metavar="MACHINE",
+                     help="print the node/hub/GPU topology tree of a "
+                          "Table I machine or named cluster instead of "
+                          "explaining a program")
     ap.add_argument("--fortran", action="store_true",
                     help="parse the file as OpenACC Fortran")
     ap.add_argument("--no-infer", action="store_true",
@@ -311,6 +315,15 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--json", action="store_true",
                     help="emit the report as JSON")
     ns = ap.parse_args(argv)
+
+    if ns.topology is not None:
+        from .vcuda.specs import CLUSTERS, MACHINES
+        known = {**MACHINES, **CLUSTERS}
+        if ns.topology not in known:
+            ap.error(f"unknown machine {ns.topology!r}; "
+                     f"choose from {', '.join(sorted(known))}")
+        print(render_topology(known[ns.topology]))
+        return 0
 
     options = CompileOptions(infer=not ns.no_infer, fuse=ns.fuse)
     if ns.app is not None:
@@ -384,6 +397,55 @@ def render_measured_elision(spec: Any, ngpus: int = 2) -> str:
             f"(elided {m['elided_bytes']})\n"
             f"  kernel launches {m['unfused_launches']} -> "
             f"{m['fused_launches']}")
+
+
+def render_topology(spec: Any) -> str:
+    """ASCII tree of a machine or cluster: nodes, hubs, GPUs, links.
+
+    The runtime prices every transfer off this structure -- same-hub
+    peer copies ride PCIe, cross-hub ones cross the QPI, cross-node
+    ones cross the NIC (with extra switch hops across leaf groups), so
+    seeing the tree explains where a fleet's communication time goes.
+    """
+    from .vcuda.specs import ClusterSpec
+
+    def node_lines(node: Any, indent: str) -> list[str]:
+        by_hub: dict[int, list[int]] = {}
+        for g in range(node.gpu_count):
+            by_hub.setdefault(node.hub_of(g), []).append(g)
+        out = []
+        for hub in sorted(by_hub):
+            gpus = by_hub[hub]
+            names = {node.gpu_specs[g].name for g in gpus}
+            label = names.pop() if len(names) == 1 else "mixed"
+            out.append(f"{indent}hub{hub}: "
+                       f"gpu{gpus[0]}..gpu{gpus[-1]} ({len(gpus)}x {label})"
+                       if len(gpus) > 1 else
+                       f"{indent}hub{hub}: gpu{gpus[0]} ({label})")
+        out.append(f"{indent}bus: {node.bus.name}")
+        return out
+
+    if not isinstance(spec, ClusterSpec):
+        lines = [f"{spec.name} (1 node, {spec.gpu_count} GPUs)"]
+        lines += node_lines(spec, "  ")
+        return "\n".join(lines)
+
+    lines = [f"{spec.name} ({spec.node_count} nodes, "
+             f"{spec.gpu_count} GPUs)",
+             f"  nic: {spec.nic.name}  {spec.nic.bandwidth / 1e9:.2f} GB/s, "
+             f"{spec.nic.latency * 1e6:.1f} us"]
+    for n, node in enumerate(spec.nodes):
+        group = f", group {spec.group_of(n)}" if spec.node_group else ""
+        lo, hi = spec.node_gpu_range(n)
+        lines.append(f"  node{n} [gpu{lo}..gpu{hi - 1}{group}]: {node.name}")
+        lines += node_lines(node, "    ")
+    degraded = [
+        f"  link node{a}<->node{b}: {bw / 1e9:.3f} GB/s (override)"
+        for a, b, bw in spec.link_overrides]
+    if degraded:
+        lines.append("overridden links:")
+        lines += degraded
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

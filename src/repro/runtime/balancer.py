@@ -48,7 +48,7 @@ import numpy as np
 
 from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..vcuda.device import LaunchConfig
-from .partition import split_tasks_weighted
+from .partition import split_tasks_hierarchical, split_tasks_weighted
 
 if TYPE_CHECKING:
     from ..vcuda.api import Platform
@@ -211,6 +211,18 @@ class AdaptiveBalancer:
                                 "resplits", 1, loop=plan.name)
             st.weights = self._group_weights.get(st.group, st.weights)
         st.calls += 1
+        if self.platform.node_count > 1:
+            # Two-level mapping on a cluster: split across nodes by
+            # aggregate node weight (throughput), then across each
+            # node's GPUs by its members' weights.  Single-node
+            # machines keep the flat splitter verbatim.
+            node_ranges = [
+                (r.start, r.stop)
+                for r in (self.platform.node_devices(n)
+                          for n in range(self.platform.node_count))
+            ]
+            return split_tasks_hierarchical(lower, upper, st.weights,
+                                            node_ranges, self.min_chunk)
         return split_tasks_weighted(lower, upper, st.weights, self.min_chunk)
 
     def _group_for(self, plan: Any) -> int:

@@ -45,6 +45,7 @@ import numpy as np
 
 from ..trace.events import (
     MECH_HALO,
+    MECH_INTERNODE_STAGED,
     MECH_MISS_REPLAY,
     MECH_REDUCTION_BCAST,
     MECH_REDUCTION_MERGE,
@@ -94,9 +95,19 @@ class CommunicationManager:
                  overlap: bool = False,
                  coalesce: bool = False,
                  tracer: Any | None = None,
-                 fastpath: bool = True) -> None:
+                 fastpath: bool = True,
+                 internode: str = "staged") -> None:
+        if internode not in ("staged", "naive"):
+            raise ValueError(
+                f"internode must be 'staged' or 'naive', got {internode!r}")
         self.platform = platform
         self.loader = loader
+        #: Cross-node transport for halo/miss/windowed/replica traffic:
+        #: ``staged`` aggregates per node pair (gather the boundary
+        #: chunks to the source node's host, one NIC transfer, scatter
+        #: on arrival); ``naive`` ships one NIC transfer per GPU pair.
+        #: Irrelevant (and unused) on single-node machines.
+        self.internode = internode
         #: Wall-clock fast paths (slice-based dirty propagation, batched
         #: miss replay).  Pure host-side implementation detail: modeled
         #: time, transfer bytes and array contents are bit-identical
@@ -141,6 +152,11 @@ class CommunicationManager:
         self.transactions = 0
         self.transactions_coalesced_away = 0
         self.staged_broadcasts = 0
+        #: Telemetry: bytes that crossed a node boundary (NIC bytes --
+        #: aggregated totals under ``staged``, per-pair sums under
+        #: ``naive``) and staged node-pair exchanges performed.
+        self.bytes_internode = 0
+        self.staged_exchanges = 0
 
     # -- top level -----------------------------------------------------------------
 
@@ -187,12 +203,15 @@ class CommunicationManager:
                     self._kernel_barrier()
                 self._merge_reduction(ma, cfg)
                 if self.overlap and self.platform.bus.pending_count():
-                    self.platform.bus.sync(CATEGORY_GPU_GPU)
+                    self.platform.bus.sync_split()
             if cfg.written:
                 ma.device_ahead = cfg.write_handling != WriteHandling.REDUCTION
         if not self.overlap:
             if self.platform.bus.pending_count():
-                return self.platform.bus.sync(CATEGORY_GPU_GPU)
+                # sync_split == sync(CATEGORY_GPU_GPU) when nothing NET
+                # is pending; on a cluster the NIC tail past the last
+                # intra-node completion lands in the NET lane.
+                return self.platform.bus.sync_split()
             return 0.0
         return clock.elapsed_in(CATEGORY_GPU_GPU) - gg0
 
@@ -317,6 +336,104 @@ class CommunicationManager:
         t = self.per_array_bytes.setdefault(name, {})
         t[kind] = t.get(kind, 0) + nbytes
 
+    # -- inter-node transport -----------------------------------------------------
+
+    def _node(self, g: int) -> int:
+        return self.platform.node_of(g)
+
+    def _flush_internode(self, ma: ManagedArray, mech: str,
+                         pairs: list[tuple[int, int, int]]) -> None:
+        """Ship cross-node ``(src_gpu, dst_gpu, nbytes)`` pairs whose
+        data copies already happened (pairwise-distinct payloads:
+        halo slabs, windowed dirty overlaps, miss records).
+
+        ``staged``: per (source node, destination node) pair, gather
+        each source GPU's bytes to the node host (D2H), one aggregated
+        NIC transfer, scatter per destination GPU (H2D) -- one NIC
+        message per node pair instead of one per GPU pair, which is
+        what amortizes the NIC latency and is the measured win of the
+        multinode ablation.  ``naive``: one NIC transfer per GPU pair
+        (the bus routes cross-node peer copies over the NIC itself).
+        """
+        if not pairs:
+            return
+        bus = self.platform.bus
+        if self.internode == "naive":
+            with self._tag(mech, ma.name):
+                for g, t, nbytes in pairs:
+                    tr = bus.p2p(g, t, nbytes, not_before=self._floor(g, t))
+                    self._note(tr, g, t)
+                    self.bytes_internode += nbytes
+            return
+        groups: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for g, t, nbytes in pairs:
+            groups.setdefault((self._node(g), self._node(t)), []) \
+                .append((g, t, nbytes))
+        with self._tag(MECH_INTERNODE_STAGED, ma.name):
+            for sn, dn in sorted(groups):
+                outbound: dict[int, int] = {}
+                inbound: dict[int, int] = {}
+                for g, t, nbytes in groups[(sn, dn)]:
+                    outbound[g] = outbound.get(g, 0) + nbytes
+                    inbound[t] = inbound.get(t, 0) + nbytes
+                gather_end = 0.0
+                for g in sorted(outbound):
+                    d = bus.d2h(g, outbound[g], not_before=self._floor(g),
+                                category=CATEGORY_GPU_GPU, local=True)
+                    self._note(d, g, None)
+                    gather_end = max(gather_end, d.end)
+                total = sum(outbound.values())
+                net = bus.net(sn, dn, total, not_before=gather_end)
+                self._note(net, None, None)
+                self.bytes_internode += total
+                self.staged_exchanges += 1
+                for t in sorted(inbound):
+                    h = bus.h2d(t, inbound[t],
+                                not_before=max(net.end, self._floor(t)),
+                                category=CATEGORY_GPU_GPU, local=True)
+                    self._note(h, None, t)
+
+    def _replica_internode(self, ma: ManagedArray, g: int, far: list[int],
+                           runs: list[tuple[int, int]], total: int) -> None:
+        """Propagate one source GPU's dirty bytes to replicas on other
+        nodes.  Unlike :meth:`_flush_internode` the payload is *shared*
+        (every replica receives the same dirty elements), so staging
+        dedups: one D2H gather on the source node, one NIC transfer of
+        ``total`` per destination node -- not per member -- then a
+        per-member H2D scatter."""
+        bus = self.platform.bus
+        if self.internode == "naive":
+            with self._tag(MECH_REPLICA, ma.name):
+                for t in far:
+                    nb = self._floor(g, t)
+                    for _, nbytes in runs:
+                        tr = bus.p2p(g, t, nbytes, not_before=nb)
+                        self._note(tr, g, t)
+                        self.bytes_replica += nbytes
+                        self.bytes_internode += nbytes
+                        self._account(ma.name, "replica", nbytes, transfers=1)
+            return
+        by_node: dict[int, list[int]] = {}
+        for t in far:
+            by_node.setdefault(self._node(t), []).append(t)
+        with self._tag(MECH_INTERNODE_STAGED, ma.name):
+            d = bus.d2h(g, total, not_before=self._floor(g),
+                        category=CATEGORY_GPU_GPU, local=True)
+            self._note(d, g, None)
+            src_node = self._node(g)
+            for dn in sorted(by_node):
+                net = bus.net(src_node, dn, total, not_before=d.end)
+                self._note(net, None, None)
+                self.bytes_internode += total
+                self.staged_exchanges += 1
+                for t in by_node[dn]:
+                    h = bus.h2d(t, total,
+                                not_before=max(net.end, self._floor(t)),
+                                category=CATEGORY_GPU_GPU, local=True)
+                    self._note(h, None, t)
+                    self.bytes_replica += total
+                    self._account(ma.name, "replica", total, transfers=1)
+
     # -- replicated arrays ------------------------------------------------------------
 
     def _propagate_replica(self, ma: ManagedArray) -> None:
@@ -365,6 +482,17 @@ class CommunicationManager:
             if not targets:
                 continue
             total = sum(n for _, n in runs)
+            # Node-local replicas ride the PCIe paths below unchanged;
+            # replicas on other nodes go through the NIC transport (on
+            # a single-node machine ``far`` is always empty and this
+            # split is the identity).
+            near = [t for t in targets if self._node(t) == self._node(g)]
+            far = [t for t in targets if self._node(t) != self._node(g)]
+            if far:
+                self._replica_internode(ma, g, far, runs, total)
+            targets = near
+            if not targets:
+                continue
             if self._stage_broadcast(g, targets, runs, total):
                 # Host-staged broadcast: one D2H of the dirty bytes,
                 # then one H2D per replica chained on its completion.
@@ -430,6 +558,7 @@ class CommunicationManager:
                 ma.dirty[0].clear()
             return
         bus = self.platform.bus
+        cross: list[tuple[int, int, int]] = []
         for g in range(ngpus):
             tracker = ma.dirty[g]
             if tracker is None or not tracker.any_dirty:
@@ -463,11 +592,16 @@ class CommunicationManager:
                         continue
                     ma.buffers[t].data[idx[sel] - tb.lo] = vals[sel]
                 nbytes = n * ma.itemsize
-                with self._tag(MECH_WINDOWED, ma.name):
-                    tr = bus.p2p(g, t, nbytes, not_before=self._floor(g, t))
-                self._note(tr, g, t)
+                if self._node(t) != self._node(g):
+                    cross.append((g, t, nbytes))
+                else:
+                    with self._tag(MECH_WINDOWED, ma.name):
+                        tr = bus.p2p(g, t, nbytes,
+                                     not_before=self._floor(g, t))
+                    self._note(tr, g, t)
                 self.bytes_windowed += nbytes
                 self._account(ma.name, "windowed", nbytes, transfers=1)
+        self._flush_internode(ma, MECH_WINDOWED, cross)
         for g in range(ngpus):
             if ma.dirty[g] is not None:
                 ma.dirty[g].clear()
@@ -476,6 +610,7 @@ class CommunicationManager:
 
     def _route_misses(self, ma: ManagedArray) -> None:
         ngpus = self.platform.ngpus
+        cross: list[tuple[int, int, int]] = []
         for g in range(ngpus):
             buf = ma.miss[g]
             if buf is None or buf.count == 0:
@@ -505,20 +640,25 @@ class CommunicationManager:
                     per_target_bytes[t] += int(sel.sum()) * RECORD_BYTES
             for t, nbytes in enumerate(per_target_bytes):
                 if nbytes:
-                    with self._tag(MECH_MISS_REPLAY, ma.name):
-                        tr = self.platform.bus.p2p(
-                            g, t, nbytes, not_before=self._floor(g, t))
-                    self._note(tr, g, t)
+                    if self._node(t) != self._node(g):
+                        cross.append((g, t, nbytes))
+                    else:
+                        with self._tag(MECH_MISS_REPLAY, ma.name):
+                            tr = self.platform.bus.p2p(
+                                g, t, nbytes, not_before=self._floor(g, t))
+                        self._note(tr, g, t)
                     self.bytes_miss += nbytes
                     self._account(ma.name, "miss", nbytes, transfers=1)
             # Release any overflow growth steps: the buffer returns to
             # its up-front capacity for the next loop (high_water keeps
             # the peak for the Fig. 9 accounting).
             buf.reset()
+        self._flush_internode(ma, MECH_MISS_REPLAY, cross)
 
     def _refresh_halos(self, ma: ManagedArray) -> None:
         """Owner blocks changed: update overlapping copies on other GPUs."""
         ngpus = self.platform.ngpus
+        cross: list[tuple[int, int, int]] = []
         for g in range(ngpus):
             src = ma.buffers[g]
             if src is None:
@@ -537,14 +677,25 @@ class CommunicationManager:
                 np.copyto(ma.buffers[t].data[dst_lo:dst_lo + ov.size],
                           src.data[src_lo:src_lo + ov.size])
                 nbytes = ov.size * ma.itemsize
-                with self._tag(MECH_HALO, ma.name):
-                    tr = self.platform.bus.p2p(g, t, nbytes,
-                                               not_before=self._floor(g, t))
-                self._note(tr, g, t)
+                if self._node(t) != self._node(g):
+                    cross.append((g, t, nbytes))
+                else:
+                    with self._tag(MECH_HALO, ma.name):
+                        tr = self.platform.bus.p2p(
+                            g, t, nbytes, not_before=self._floor(g, t))
+                    self._note(tr, g, t)
                 self.bytes_halo += nbytes
                 self._account(ma.name, "halo", nbytes, transfers=1)
+        self._flush_internode(ma, MECH_HALO, cross)
 
     # -- reduction destinations ------------------------------------------------------------
+
+    def _note_reduction(self, tr: Transfer, src: int, dst: int,
+                        nbytes: int) -> None:
+        self._note(tr, src, dst)
+        self.bytes_reduction += nbytes
+        if tr.cross_node:
+            self.bytes_internode += nbytes
 
     def _merge_reduction(self, ma: ManagedArray, cfg: ArrayConfig) -> None:
         """Hierarchical reduction, final (inter-GPU) level (section IV-B4).
@@ -569,8 +720,7 @@ class CommunicationManager:
                         dst = alive[k]
                         with self._tag(MECH_REDUCTION_MERGE, ma.name):
                             tr = self.platform.bus.p2p(src, dst, nbytes)
-                        self._note(tr, src, dst)
-                        self.bytes_reduction += nbytes
+                        self._note_reduction(tr, src, dst, nbytes)
                         np.copyto(
                             ma.buffers[dst].data,
                             _combine(op, ma.buffers[dst].data,
@@ -581,8 +731,7 @@ class CommunicationManager:
                 for g in alive[1:]:
                     with self._tag(MECH_REDUCTION_MERGE, ma.name):
                         tr = self.platform.bus.p2p(g, root, nbytes)
-                    self._note(tr, g, root)
-                    self.bytes_reduction += nbytes
+                    self._note_reduction(tr, g, root, nbytes)
                     np.copyto(
                         ma.buffers[root].data,
                         _combine(op, ma.buffers[root].data,
@@ -609,15 +758,13 @@ class CommunicationManager:
                     for src, dst in level:
                         with self._tag(MECH_REDUCTION_BCAST, ma.name):
                             tr = self.platform.bus.p2p(src, dst, nbytes)
-                        self._note(tr, src, dst)
-                        self.bytes_reduction += nbytes
+                        self._note_reduction(tr, src, dst, nbytes)
             else:
                 root = alive[0]
                 for g in alive[1:]:
                     with self._tag(MECH_REDUCTION_BCAST, ma.name):
                         tr = self.platform.bus.p2p(root, g, nbytes)
-                    self._note(tr, root, g)
-                    self.bytes_reduction += nbytes
+                    self._note_reduction(tr, root, g, nbytes)
         ma.device_ahead = False
         ma.materialized = True
         # The buffers now hold a coherent full replica of the merged data,

@@ -78,6 +78,7 @@ class AccExecutor:
         sanitizer: Any | None = None,
         tracer: Any | None = None,
         fastpath: bool = True,
+        internode: str = "staged",
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
@@ -104,7 +105,8 @@ class AccExecutor:
         self.comm = CommunicationManager(platform, self.loader,
                                          tree_reduction=tree_reduction,
                                          overlap=overlap, coalesce=coalesce,
-                                         tracer=tracer, fastpath=fastpath)
+                                         tracer=tracer, fastpath=fastpath,
+                                         internode=internode)
         #: Launch fast path: per-(plan, GPU) kernel contexts with their
         #: argument bindings, revalidated against each array's version
         #: counter.  Values pin the plan/config objects they were built

@@ -112,6 +112,61 @@ def split_tasks_weighted(
     return out
 
 
+def split_tasks_hierarchical(
+    lower: int,
+    upper: int,
+    weights: list[float],
+    node_ranges: list[tuple[int, int]],
+    min_chunk: int = 0,
+) -> list[tuple[int, int]]:
+    """Two-level contiguous split: nodes first, then GPUs within each.
+
+    ``node_ranges`` lists each node's ``[gpu_lo, gpu_hi)`` slice of the
+    weight vector (contiguous, in order, covering it exactly).  Level
+    one splits ``[lower, upper)`` across nodes proportional to each
+    node's *aggregate* weight; level two hands each node's sub-range to
+    :func:`split_tasks_weighted` with the node's own GPU weights.  The
+    result is indexed per GPU, exactly like the flat splitter, and is
+    an exact contiguous cover (each level already guarantees its own).
+
+    A node's ``min_chunk`` at level one is ``min_chunk`` per
+    positive-weight GPU it hosts, so the inner splits retain enough
+    tasks to honour the per-GPU floor.  Degenerate weights degrade the
+    same way the flat splitter does, level by level.
+    """
+    ngpus = len(weights)
+    if ngpus < 1:
+        raise PartitionError("need at least one GPU")
+    if not node_ranges or node_ranges[0][0] != 0 \
+            or node_ranges[-1][1] != ngpus \
+            or any(node_ranges[i][1] != node_ranges[i + 1][0]
+                   for i in range(len(node_ranges) - 1)) \
+            or any(hi <= lo for lo, hi in node_ranges):
+        raise PartitionError(
+            f"node_ranges {node_ranges} is not a contiguous non-empty "
+            f"cover of [0, {ngpus})")
+    # Clamp exactly like the flat splitter so node aggregates see the
+    # same sanitized weights their members will.
+    w = [0.0 if x != x else max(0.0, float(x)) for x in weights]
+    node_weights = [sum(w[lo:hi]) for lo, hi in node_ranges]
+    node_min = [
+        min_chunk * sum(1 for g in range(lo, hi) if w[g] > 0.0)
+        for lo, hi in node_ranges
+    ]
+    node_tasks = split_tasks_weighted(lower, upper, node_weights,
+                                      min_chunk=max(node_min, default=0))
+    out: list[tuple[int, int]] = []
+    for (glo, ghi), (tlo, thi) in zip(node_ranges, node_tasks):
+        out.extend(split_tasks_weighted(tlo, thi, w[glo:ghi],
+                                        min_chunk=min_chunk))
+    if out[0][0] != lower or out[-1][1] != upper \
+            or any(out[i][1] != out[i + 1][0] for i in range(len(out) - 1)):
+        raise PartitionError(
+            f"hierarchical split produced an invalid cover of "
+            f"[{lower}, {upper}): {out}")
+    return out
+
+
 @dataclass(frozen=True)
 class Block:
     """A loaded array block: global element range [lo, hi)."""

@@ -33,7 +33,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from ..vcuda.memory import MemoryAccountant, OutOfDeviceMemory, PURPOSE_USER
-from ..vcuda.specs import MachineSpec
+from ..vcuda.specs import ClusterSpec, MachineSpec
 
 #: Admission-estimate slack: the runtime allocates system data (dirty
 #: bitmaps, miss buffers, reduction scratch) next to user arrays; the
@@ -46,8 +46,9 @@ class AdmissionError(ValueError):
 
     Codes: ``oversized_gpus`` (more GPUs than the fleet has),
     ``oversized_memory`` (per-GPU bytes exceed every slot's capacity,
-    or too few big-enough slots exist), ``queue_full`` (the bounded
-    queue is at capacity).
+    or too few big-enough slots exist), ``oversized_node`` (no single
+    node has enough eligible slots and node-spanning placements were
+    not requested), ``queue_full`` (the bounded queue is at capacity).
     """
 
     def __init__(self, code: str, message: str, **details: Any) -> None:
@@ -78,6 +79,8 @@ class SlotState:
     hub: int
     capacity: int
     accountant: MemoryAccountant
+    #: Cluster node hosting this slot (0 on single-node fleets).
+    node: int = 0
     #: Request id currently placed here (None = free).  One slot hosts
     #: at most one program: the virtual platform gives an admitted
     #: program the whole device, so "busy" is binary even though the
@@ -90,14 +93,24 @@ class SlotState:
 
 
 class FleetState:
-    """Slot occupancy + byte reservations for one shared fleet."""
+    """Slot occupancy + byte reservations for one shared fleet.
 
-    def __init__(self, fleet: MachineSpec) -> None:
+    ``fleet`` may be a multi-node :class:`~repro.vcuda.specs.ClusterSpec`;
+    each slot then remembers its node and -- unless ``span_nodes`` is
+    set -- placements never straddle a node boundary (a program split
+    across nodes pays NIC latency on every coherence round, so spanning
+    must be an explicit choice, not a packing accident).
+    """
+
+    def __init__(self, fleet: MachineSpec | ClusterSpec,
+                 span_nodes: bool = False) -> None:
         self.fleet = fleet
+        self.span_nodes = span_nodes
         self.slots = [
             SlotState(index=i, hub=fleet.hub_of(i),
                       capacity=spec.mem_capacity,
-                      accountant=MemoryAccountant(capacity=spec.mem_capacity))
+                      accountant=MemoryAccountant(capacity=spec.mem_capacity),
+                      node=fleet.node_of(i))
             for i, spec in enumerate(fleet.gpu_specs)
         ]
 
@@ -126,6 +139,18 @@ class FleetState:
                 f"GPUs; only {len(big_enough)} slots have that capacity",
                 bytes_per_gpu=bytes_per_gpu, ngpus=ngpus,
                 eligible_slots=len(big_enough))
+        if not self.span_nodes:
+            per_node: dict[int, int] = {}
+            for s in big_enough:
+                per_node[s.node] = per_node.get(s.node, 0) + 1
+            widest = max(per_node.values())
+            if widest < ngpus:
+                raise AdmissionError(
+                    "oversized_node",
+                    f"request wants {ngpus} GPUs on one node; the widest "
+                    f"node has {widest} eligible slots (pass span_nodes "
+                    f"to allow cross-node placements)",
+                    ngpus=ngpus, widest_node=widest)
 
     def reserve(self, request_id: str, slots: Sequence[int],
                 bytes_per_gpu: int) -> None:
@@ -155,23 +180,9 @@ class FleetState:
         return self.busy_count / len(self.slots)
 
 
-def plan_placement(state: FleetState, ngpus: int,
-                   bytes_per_gpu: int) -> list[int] | None:
-    """Pick ``ngpus`` disjoint free slots, or ``None`` (caller queues).
-
-    Best-fit bin-packing: candidate slots are the free ones whose
-    capacity covers the estimate.  Slots are grouped per I/O hub; a hub
-    that can host the whole request alone is preferred (fewest leftover
-    free slots first -- best fit, so small requests fill fragmented
-    hubs and leave whole hubs free for wide requests).  Within a hub,
-    smallest capacity first.  When no single hub suffices, the request
-    spans hubs (capacity-ascending, then index) and pays the cross-hub
-    penalty its carved :meth:`~repro.vcuda.specs.MachineSpec.subset`
-    models.
-    """
-    fits = [s for s in state.free_slots if s.capacity >= bytes_per_gpu]
-    if len(fits) < ngpus:
-        return None
+def _pick_hub_aware(fits: list[SlotState], ngpus: int) -> list[int]:
+    """Hub-preferring best-fit pick from an eligible pool (see
+    :func:`plan_placement`); the pool must hold at least ``ngpus``."""
     by_hub: dict[int, list[SlotState]] = {}
     for s in fits:
         by_hub.setdefault(s.hub, []).append(s)
@@ -184,6 +195,45 @@ def plan_placement(state: FleetState, ngpus: int,
         pool = fits
     pool = sorted(pool, key=lambda s: (s.capacity, s.index))
     return sorted(s.index for s in pool[:ngpus])
+
+
+def plan_placement(state: FleetState, ngpus: int, bytes_per_gpu: int,
+                   span_nodes: bool | None = None) -> list[int] | None:
+    """Pick ``ngpus`` disjoint free slots, or ``None`` (caller queues).
+
+    Best-fit bin-packing: candidate slots are the free ones whose
+    capacity covers the estimate.  Slots are grouped per I/O hub; a hub
+    that can host the whole request alone is preferred (fewest leftover
+    free slots first -- best fit, so small requests fill fragmented
+    hubs and leave whole hubs free for wide requests).  Within a hub,
+    smallest capacity first.  When no single hub suffices, the request
+    spans hubs (capacity-ascending, then index) and pays the cross-hub
+    penalty its carved :meth:`~repro.vcuda.specs.MachineSpec.subset`
+    models.
+
+    On a multi-node fleet the same logic applies one level up first: a
+    placement stays inside one node -- the node with the fewest
+    leftover eligible slots that can still host the request -- and the
+    hub preference runs within it.  A request no free node can host
+    alone waits (``None``) unless ``span_nodes`` says cross-node
+    placements were explicitly requested; ``None`` (the default) defers
+    to ``state.span_nodes``.
+    """
+    span = state.span_nodes if span_nodes is None else span_nodes
+    fits = [s for s in state.free_slots if s.capacity >= bytes_per_gpu]
+    if len(fits) < ngpus:
+        return None
+    by_node: dict[int, list[SlotState]] = {}
+    for s in fits:
+        by_node.setdefault(s.node, []).append(s)
+    hosting = [(len(slots), node) for node, slots in by_node.items()
+               if len(slots) >= ngpus]
+    if hosting:
+        _, node = min(hosting)
+        return _pick_hub_aware(by_node[node], ngpus)
+    if not span:
+        return None
+    return _pick_hub_aware(fits, ngpus)
 
 
 # ---------------------------------------------------------------------------

@@ -47,7 +47,7 @@ from ..trace.events import (
     EVENT_REQ_REJECTED,
 )
 from ..translator.compiler import CompileOptions, compile_source_with_info
-from ..vcuda.specs import MachineSpec
+from ..vcuda.specs import ClusterSpec, MachineSpec
 from .registry import ProgramRegistry
 from .scheduler import (
     AdmissionError,
@@ -189,15 +189,16 @@ class ProgramService:
     ``fleet.gpu_count`` requests run concurrently.
     """
 
-    def __init__(self, fleet: MachineSpec,
+    def __init__(self, fleet: MachineSpec | ClusterSpec,
                  registry: ProgramRegistry | None = None,
                  policy: str = "fifo",
-                 max_queue: int | None = None) -> None:
+                 max_queue: int | None = None,
+                 span_nodes: bool = False) -> None:
         self.fleet = fleet
         self.registry = registry
         self.policy = make_policy(policy)
         self.max_queue = max_queue
-        self.state = FleetState(fleet)
+        self.state = FleetState(fleet, span_nodes=span_nodes)
         self.tracer = Tracer(ngpus=fleet.gpu_count, machine=fleet.name)
         self._lock = threading.Lock()
         self._queue: list[QueueEntry] = []

@@ -30,6 +30,8 @@ EVENT_KERNEL = "kernel"
 EVENT_H2D = "h2d"
 EVENT_D2H = "d2h"
 EVENT_P2P = "p2p"
+#: Inter-node NIC transfer (cluster machines only).
+EVENT_NET = "net"
 #: Instantaneous runtime decisions (zero duration, Perfetto "instant").
 EVENT_LOOP_BEGIN = "loop_begin"
 EVENT_LOOP_END = "loop_end"
@@ -51,7 +53,7 @@ EVENT_REQ_FAILED = "req_failed"
 EVENT_REQ_REJECTED = "req_rejected"
 
 #: Kinds that occupy time on a lane (Chrome "complete" events).
-SPAN_KINDS = (EVENT_KERNEL, EVENT_H2D, EVENT_D2H, EVENT_P2P)
+SPAN_KINDS = (EVENT_KERNEL, EVENT_H2D, EVENT_D2H, EVENT_P2P, EVENT_NET)
 #: Zero-duration marker kinds (Chrome "instant" events).
 INSTANT_KINDS = (EVENT_LOOP_BEGIN, EVENT_LOOP_END, EVENT_RELOAD_SKIP,
                  EVENT_LOAD, EVENT_MIGRATION, EVENT_WRITEBACK,
@@ -72,6 +74,9 @@ MECH_HALO = "halo_exchange"
 MECH_MISS_REPLAY = "write_miss_replay"
 MECH_REDUCTION_MERGE = "reduction_merge"
 MECH_REDUCTION_BCAST = "reduction_broadcast"
+#: Per-node-pair aggregated inter-node exchange (gather to the node
+#: host, one NIC transfer, scatter on arrival).
+MECH_INTERNODE_STAGED = "internode_staged"
 MECH_LOAD = "load"
 MECH_MIGRATION = "migration"
 MECH_WRITEBACK = "writeback"
@@ -80,7 +85,8 @@ MECH_UPDATE = "update_directive"
 ALL_MECHANISMS = (
     MECH_REPLICA, MECH_REPLICA_STAGED, MECH_WINDOWED, MECH_HALO,
     MECH_MISS_REPLAY, MECH_REDUCTION_MERGE, MECH_REDUCTION_BCAST,
-    MECH_LOAD, MECH_MIGRATION, MECH_WRITEBACK, MECH_UPDATE,
+    MECH_INTERNODE_STAGED, MECH_LOAD, MECH_MIGRATION, MECH_WRITEBACK,
+    MECH_UPDATE,
 )
 
 

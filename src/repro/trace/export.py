@@ -21,21 +21,30 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..vcuda.bus import CATEGORY_CPU_GPU, CATEGORY_GPU_GPU, CATEGORY_KERNELS
+from ..vcuda.bus import (
+    CATEGORY_CPU_GPU,
+    CATEGORY_GPU_GPU,
+    CATEGORY_KERNELS,
+    CATEGORY_NET,
+    CATEGORY_NET_OVERLAPPED,
+)
 from ..vcuda.profiler import TimeBreakdown
-from .events import EVENT_KERNEL, SPAN_KINDS, TraceEvent
+from .events import EVENT_KERNEL, EVENT_NET, SPAN_KINDS, TraceEvent
 from .tracer import Tracer
 
 _US = 1e6  # chrome-trace timestamps are microseconds
 
-#: Lane (tid) layout: GPUs first, then the two runtime lanes.
+#: Lane (tid) layout: GPUs first, then the runtime lanes.
 LANE_LOADER = "loader"
 LANE_COMM = "comm"
+LANE_NET = "net"
 
 
 def _lane(ev: TraceEvent, ngpus: int) -> int:
     if ev.kind == EVENT_KERNEL:
         return ev.gpu if ev.gpu is not None else 0
+    if ev.kind == EVENT_NET:  # inter-node NIC traffic: its own lane
+        return ngpus + 2
     if ev.kind in SPAN_KINDS:  # a transfer
         if ev.attrs.get("category") == CATEGORY_GPU_GPU or ev.kind == "p2p":
             return ngpus + 1
@@ -47,17 +56,20 @@ def _lane(ev: TraceEvent, ngpus: int) -> int:
     return ngpus + 1
 
 
-def lane_names(ngpus: int) -> dict[int, str]:
+def lane_names(ngpus: int, with_net: bool = False) -> dict[int, str]:
     names = {g: f"gpu{g}" for g in range(ngpus)}
     names[ngpus] = LANE_LOADER
     names[ngpus + 1] = LANE_COMM
+    if with_net:
+        names[ngpus + 2] = LANE_NET
     return names
 
 
 def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     """The run as a Chrome Trace Event JSON object (Perfetto-loadable)."""
     events: list[dict[str, Any]] = []
-    for tid, name in lane_names(tracer.ngpus).items():
+    with_net = any(ev.kind == EVENT_NET for ev in tracer.events)
+    for tid, name in lane_names(tracer.ngpus, with_net=with_net).items():
         events.append({"name": "thread_name", "ph": "M", "pid": 0,
                        "tid": tid, "args": {"name": name}})
         events.append({"name": "thread_sort_index", "ph": "M", "pid": 0,
@@ -131,7 +143,7 @@ def write_jsonl(tracer: Tracer, path: str) -> None:
 # -- per-loop summary / Fig. 8 reconciliation -------------------------------
 
 _BUCKETS = ((CATEGORY_KERNELS, "kernels"), (CATEGORY_CPU_GPU, "cpu_gpu"),
-            (CATEGORY_GPU_GPU, "gpu_gpu"))
+            (CATEGORY_GPU_GPU, "gpu_gpu"), (CATEGORY_NET, "net"))
 
 
 def reconcile(tracer: Tracer, breakdown: TimeBreakdown) -> dict[str, Any]:
@@ -153,6 +165,12 @@ def reconcile(tracer: Tracer, breakdown: TimeBreakdown) -> dict[str, Any]:
         "traced": tracer.hidden_comm_seconds,
         "reported": breakdown.gpu_gpu_overlapped,
         "residual": tracer.hidden_comm_seconds - breakdown.gpu_gpu_overlapped,
+    }
+    hidden_net = tracer.category_totals().get(CATEGORY_NET_OVERLAPPED, 0.0)
+    rows["net_overlapped"] = {
+        "traced": hidden_net,
+        "reported": breakdown.net_overlapped,
+        "residual": hidden_net - breakdown.net_overlapped,
     }
     rows["other"] = {
         "traced": totals.get(None, 0.0),

@@ -31,6 +31,7 @@ from .events import (
     EVENT_KERNEL,
     EVENT_LOOP_BEGIN,
     EVENT_LOOP_END,
+    EVENT_NET,
     EVENT_P2P,
     AttributionSpan,
     TraceEvent,
@@ -41,7 +42,8 @@ if TYPE_CHECKING:
     from ..vcuda.bus import Transfer
     from ..vcuda.device import KernelLaunchRecord
 
-_TRANSFER_KINDS = {"h2d": EVENT_H2D, "d2h": EVENT_D2H, "p2p": EVENT_P2P}
+_TRANSFER_KINDS = {"h2d": EVENT_H2D, "d2h": EVENT_D2H, "p2p": EVENT_P2P,
+                   "net": EVENT_NET}
 
 
 class Tracer:
@@ -160,16 +162,20 @@ class Tracer:
             self._tag_mechanism, self._tag_array = prev
 
     def on_transfer(self, tr: "Transfer") -> None:
-        """Bus observer: one DMA transfer was scheduled."""
+        """Bus observer: one DMA or NIC transfer was scheduled."""
         kind = _TRANSFER_KINDS[tr.kind]
         mech = self._tag_mechanism
+        extra: dict[str, Any] = {}
+        if tr.kind == "net":
+            extra["src_node"] = tr.src_node
+            extra["dst_node"] = tr.dst_node
         ev = self.emit(kind, f"{tr.kind}:{self._tag_array or ''}",
                        start=tr.start, duration=tr.seconds,
                        src_gpu=tr.src_device, dst_gpu=tr.dst_device,
                        gpu=tr.dst_device if tr.dst_device is not None
                        else tr.src_device,
                        array=self._tag_array, mechanism=mech,
-                       nbytes=tr.nbytes, category=tr.category)
+                       nbytes=tr.nbytes, category=tr.category, **extra)
         self.metrics.count("transfer_bytes", tr.nbytes, kind=tr.kind,
                            mechanism=mech, loop=ev.loop)
         self.metrics.count("transfers", 1, kind=tr.kind, mechanism=mech,

@@ -27,19 +27,22 @@ from .bus import (
     CATEGORY_GPU_GPU,
     CATEGORY_GPU_GPU_OVERLAPPED,
     CATEGORY_KERNELS,
+    CATEGORY_NET,
+    CATEGORY_NET_OVERLAPPED,
     Transfer,
 )
 from .clock import VirtualClock
 from .device import Device, KernelWork, LaunchConfig
 from .memory import DeviceBuffer
 from .profiler import Profiler
-from .specs import MachineSpec
+from .specs import ClusterSpec, MachineSpec
 
 
 class Platform:
     """One machine instance: devices + bus + clock + profiler."""
 
-    def __init__(self, machine: MachineSpec, ngpus: int | None = None) -> None:
+    def __init__(self, machine: MachineSpec | ClusterSpec,
+                 ngpus: int | None = None) -> None:
         if ngpus is None:
             ngpus = machine.gpu_count
         if not (1 <= ngpus <= machine.gpu_count):
@@ -56,6 +59,21 @@ class Platform:
     @property
     def ngpus(self) -> int:
         return len(self.devices)
+
+    @property
+    def node_count(self) -> int:
+        """Nodes actually holding active devices.  Device indices are a
+        contiguous prefix of the machine's GPUs and ``node_of`` is
+        monotone, so the last device's node bounds the active set."""
+        return self.machine.node_of(self.ngpus - 1) + 1
+
+    def node_of(self, device: int) -> int:
+        return self.machine.node_of(device)
+
+    def node_devices(self, node: int) -> range:
+        """Active device indices hosted on ``node``."""
+        lo, hi = self.machine.node_gpu_range(node)
+        return range(lo, min(hi, self.ngpus))
 
     def device(self, index: int) -> Device:
         return self.devices[index]
@@ -203,13 +221,19 @@ class Platform:
                 if s < target:
                     kernel_iv.append((max(s, now), min(e, target)))
         gpu_iv: list[tuple[float, float]] = []
+        net_iv: list[tuple[float, float]] = []
         cpu_iv: list[tuple[float, float]] = []
         for t in self.bus.pending:
             if t.end > now and t.start < target:
-                dest = gpu_iv if t.category == CATEGORY_GPU_GPU else cpu_iv
+                if t.category == CATEGORY_GPU_GPU:
+                    dest = gpu_iv
+                elif t.category == CATEGORY_NET:
+                    dest = net_iv
+                else:
+                    dest = cpu_iv
                 dest.append((max(t.start, now), min(t.end, target)))
         points = {now, target}
-        for s, e in kernel_iv + gpu_iv + cpu_iv:
+        for s, e in kernel_iv + gpu_iv + net_iv + cpu_iv:
             points.add(s)
             points.add(e)
         pts = sorted(points)
@@ -217,12 +241,19 @@ class Platform:
             mid = (a + b) / 2.0
             in_kernel = any(s <= mid < e for s, e in kernel_iv)
             in_gpu = any(s <= mid < e for s, e in gpu_iv)
+            in_net = any(s <= mid < e for s, e in net_iv)
             if in_kernel:
                 clock.advance_to(b, CATEGORY_KERNELS)
                 if in_gpu:
                     clock.charge(b - a, CATEGORY_GPU_GPU_OVERLAPPED)
+                if in_net:
+                    clock.charge(b - a, CATEGORY_NET_OVERLAPPED)
             elif in_gpu:
                 clock.advance_to(b, CATEGORY_GPU_GPU)
+                if in_net:
+                    clock.charge(b - a, CATEGORY_NET_OVERLAPPED)
+            elif in_net:
+                clock.advance_to(b, CATEGORY_NET)
             elif any(s <= mid < e for s, e in cpu_iv):
                 clock.advance_to(b, CATEGORY_CPU_GPU)
             else:

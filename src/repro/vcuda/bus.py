@@ -1,8 +1,18 @@
-"""PCI-Express interconnect model.
+"""PCI-Express + cluster-interconnect model.
 
-Each GPU hangs off the host through one PCIe link; peer-to-peer copies
-occupy the links of both endpoint GPUs and, on a dual-I/O-hub node,
-cross the QPI at reduced bandwidth (``BusSpec.p2p_cross_hub``).
+Each GPU hangs off its node's host through one PCIe link; peer-to-peer
+copies occupy the links of both endpoint GPUs and, on a dual-I/O-hub
+node, cross the QPI at reduced bandwidth (``BusSpec.p2p_cross_hub``).
+
+On a :class:`~repro.vcuda.specs.ClusterSpec` machine a second tier
+exists: one NIC port per node on a switched fabric
+(:class:`~repro.vcuda.specs.NicSpec`).  ``net`` transfers occupy the
+NIC ports of both endpoint nodes; peer copies between GPUs on
+*different* nodes route over the NIC automatically, and host<->device
+transfers for GPUs away from the home node (node 0, where host memory
+lives) are staged as a NIC hop chained to the node-local PCIe leg.
+On a plain single-node machine none of these paths exist and the
+schedule is bit-identical to the pre-cluster model.
 
 Transfers are *asynchronous*: :meth:`Bus.h2d` and friends only reserve
 link time and return a :class:`Transfer` with start/end timestamps in
@@ -19,9 +29,9 @@ from dataclasses import dataclass
 from typing import Callable, Literal
 
 from .clock import VirtualClock
-from .specs import BusSpec, MachineSpec
+from .specs import BusSpec, ClusterSpec, MachineSpec
 
-TransferKind = Literal["h2d", "d2h", "p2p"]
+TransferKind = Literal["h2d", "d2h", "p2p", "net"]
 
 #: Profiler categories matching the paper's Fig. 8 buckets.
 CATEGORY_CPU_GPU = "CPU-GPU"
@@ -32,11 +42,32 @@ CATEGORY_KERNELS = "KERNELS"
 #: :meth:`VirtualClock.charge`, so it never moves the clock: Fig. 8's
 #: ``GPU-GPU`` bucket keeps meaning *exposed* communication only.
 CATEGORY_GPU_GPU_OVERLAPPED = "GPU-GPU (hidden)"
+#: Inter-node (NIC) transfer time -- the new lane multi-node breakdowns
+#: report next to the paper's three buckets.
+CATEGORY_NET = "NET"
+#: NET time hidden under kernels by the async layer (charged, never
+#: advances the clock; the NET analogue of ``GPU-GPU (hidden)``).
+CATEGORY_NET_OVERLAPPED = "NET (hidden)"
+
+
+class NetworkError(RuntimeError):
+    """A modeled NIC link cannot carry a transfer (dead or degraded to
+    zero/invalid bandwidth).  Structured: carries the endpoints and the
+    offending bandwidth so fault handling does not parse messages."""
+
+    def __init__(self, src_node: int, dst_node: int,
+                 bandwidth: float) -> None:
+        super().__init__(
+            f"NIC link between node {src_node} and node {dst_node} has "
+            f"no usable bandwidth ({bandwidth!r} B/s)")
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.bandwidth = bandwidth
 
 
 @dataclass
 class Transfer:
-    """One scheduled DMA transfer."""
+    """One scheduled DMA or NIC transfer."""
 
     kind: TransferKind
     nbytes: int
@@ -48,6 +79,10 @@ class Transfer:
     #: host-staged replica broadcasts move over h2d/d2h links but are
     #: inter-GPU communication for Fig. 8 purposes.
     category_override: str | None = None
+    #: Endpoint nodes (always set for ``net`` transfers; set on every
+    #: transfer scheduled on a cluster machine).
+    src_node: int | None = None
+    dst_node: int | None = None
 
     @property
     def seconds(self) -> float:
@@ -57,13 +92,21 @@ class Transfer:
     def category(self) -> str:
         if self.category_override is not None:
             return self.category_override
+        if self.kind == "net":
+            return CATEGORY_NET
         return CATEGORY_GPU_GPU if self.kind == "p2p" else CATEGORY_CPU_GPU
+
+    @property
+    def cross_node(self) -> bool:
+        return (self.src_node is not None and self.dst_node is not None
+                and self.src_node != self.dst_node)
 
 
 class Bus:
-    """Link-time scheduler for one machine's PCIe topology."""
+    """Link-time scheduler for one machine's PCIe + NIC topology."""
 
-    def __init__(self, machine: MachineSpec, clock: VirtualClock) -> None:
+    def __init__(self, machine: MachineSpec | ClusterSpec,
+                 clock: VirtualClock) -> None:
         self.machine = machine
         self.spec: BusSpec = machine.bus
         self.clock = clock
@@ -73,6 +116,12 @@ class Bus:
         n_hubs = 1 + max((machine.hub_of(g) for g in range(machine.gpu_count)),
                          default=0)
         self._hub_free_at: list[float] = [0.0] * n_hubs
+        #: Virtual time at which each node's NIC port frees up.
+        self._nic_free_at: list[float] = [0.0] * machine.node_count
+        #: True on a cluster with two or more nodes: the only case in
+        #: which any NIC path is ever taken (one-node machines -- plain
+        #: or ClusterSpec -- schedule bit-identically).
+        self._multinode = machine.node_count > 1
         self._pending: list[Transfer] = []
         self.completed: list[Transfer] = []
         #: Optional clock-advance hook ``(timestamp, category) -> None``.
@@ -88,20 +137,48 @@ class Bus:
 
     # -- pricing ------------------------------------------------------------
 
-    def _duration(self, kind: TransferKind, nbytes: int, src: int | None, dst: int | None) -> float:
+    def _node_of(self, device: int | None) -> int:
+        return 0 if device is None else self.machine.node_of(device)
+
+    def _bus_spec(self, device: int | None) -> BusSpec:
+        """PCIe spec of the node hosting ``device`` (home node for
+        host-side endpoints)."""
+        if not self._multinode or device is None:
+            return self.spec
+        return self.machine.node_bus(self.machine.node_of(device))
+
+    def _duration(self, kind: TransferKind, nbytes: int, src: int | None,
+                  dst: int | None) -> float:
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        spec = self._bus_spec(dst if kind == "h2d" else src)
+        if nbytes == 0:
+            return 0.0
+        if kind == "h2d":
+            bw = spec.h2d_bandwidth
+        elif kind == "d2h":
+            bw = spec.d2h_bandwidth
+        else:
+            assert src is not None and dst is not None
+            same_hub = self.machine.hub_of(src) == self.machine.hub_of(dst)
+            bw = spec.p2p_same_hub if same_hub else spec.p2p_cross_hub
+        return spec.latency + nbytes / bw
+
+    def _net_duration(self, src_node: int, dst_node: int,
+                      nbytes: int) -> float:
+        machine = self.machine
+        assert isinstance(machine, ClusterSpec)
+        bw = machine.link_bandwidth(src_node, dst_node)
+        # Validate the link before the zero-byte shortcut: a transfer
+        # over a dead link must fail loudly even when empty, not stall
+        # silently or ship stale data.
+        if not (bw > 0.0) or bw != bw or bw == float("inf"):
+            raise NetworkError(src_node, dst_node, bw)
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
         if nbytes == 0:
             return 0.0
-        if kind == "h2d":
-            bw = self.spec.h2d_bandwidth
-        elif kind == "d2h":
-            bw = self.spec.d2h_bandwidth
-        else:
-            assert src is not None and dst is not None
-            same_hub = self.machine.hub_of(src) == self.machine.hub_of(dst)
-            bw = self.spec.p2p_same_hub if same_hub else self.spec.p2p_cross_hub
-        return self.spec.latency + nbytes / bw
+        return machine.link_latency(src_node, dst_node) + nbytes / bw
 
     def _schedule(
         self, kind: TransferKind, nbytes: int, src: int | None, dst: int | None,
@@ -117,19 +194,48 @@ class Bus:
             # Host transfers also consume the shared I/O-hub uplink, for a
             # fraction of their duration equal to link/uplink bandwidth:
             # concurrent same-hub transfers serialize on that share.
+            spec = self._bus_spec(links[0])
             hub = self.machine.hub_of(links[0])
-            link_bw = (self.spec.h2d_bandwidth if kind == "h2d"
-                       else self.spec.d2h_bandwidth)
+            link_bw = (spec.h2d_bandwidth if kind == "h2d"
+                       else spec.d2h_bandwidth)
             hub_occupancy = duration * min(
-                1.0, link_bw / self.spec.hub_uplink_bandwidth)
+                1.0, link_bw / spec.hub_uplink_bandwidth)
             start = max(start, self._hub_free_at[hub])
         end = start + duration
         for d in links:
             self._link_free_at[d] = end
         if hub is not None:
             self._hub_free_at[hub] = start + hub_occupancy
+        node = self._node_of(links[0]) if links else 0
         t = Transfer(kind=kind, nbytes=nbytes, src_device=src, dst_device=dst,
-                     start=start, end=end, category_override=category)
+                     start=start, end=end, category_override=category,
+                     src_node=node, dst_node=node)
+        self._pending.append(t)
+        if self.observer is not None:
+            self.observer(t)
+        return t
+
+    def _schedule_net(
+        self, src_node: int, dst_node: int, nbytes: int,
+        src: int | None = None, dst: int | None = None,
+        not_before: float = 0.0, category: str | None = None,
+    ) -> Transfer:
+        """Reserve both endpoint nodes' NIC ports (and, for a direct
+        cross-node peer copy, the endpoint GPUs' PCIe links)."""
+        duration = self._net_duration(src_node, dst_node, nbytes)
+        links = [d for d in (src, dst) if d is not None]
+        start = max([self.clock.now, not_before,
+                     self._nic_free_at[src_node], self._nic_free_at[dst_node]]
+                    + [self._link_free_at[d] for d in links])
+        end = start + duration
+        self._nic_free_at[src_node] = end
+        self._nic_free_at[dst_node] = end
+        for d in links:
+            self._link_free_at[d] = end
+        t = Transfer(kind="net", nbytes=nbytes, src_device=src,
+                     dst_device=dst, start=start, end=end,
+                     category_override=category,
+                     src_node=src_node, dst_node=dst_node)
         self._pending.append(t)
         if self.observer is not None:
             self.observer(t)
@@ -138,33 +244,75 @@ class Bus:
     # -- public API ----------------------------------------------------------
 
     def h2d(self, device: int, nbytes: int, *, not_before: float = 0.0,
-            category: str | None = None) -> Transfer:
-        """Queue a host-to-device copy on ``device``'s link."""
+            category: str | None = None, local: bool = False) -> Transfer:
+        """Queue a host-to-device copy on ``device``'s link.
+
+        On a cluster, host memory lives on the home node: a copy to a
+        GPU on another node first hops the NIC (home -> node), then
+        runs the node-local PCIe leg.  ``local=True`` skips the NIC
+        hop for data already staged in the target node's host memory
+        (the communication manager's aggregated inter-node exchange).
+        """
         self._check_device(device)
+        node = self._node_of(device)
+        if self._multinode and node != 0 and not local:
+            hop = self._schedule_net(
+                0, node, nbytes, not_before=not_before,
+                category=category if category is not None
+                else CATEGORY_CPU_GPU)
+            not_before = hop.end
         return self._schedule("h2d", nbytes, None, device,
                               not_before=not_before, category=category)
 
     def d2h(self, device: int, nbytes: int, *, not_before: float = 0.0,
-            category: str | None = None) -> Transfer:
-        """Queue a device-to-host copy on ``device``'s link."""
+            category: str | None = None, local: bool = False) -> Transfer:
+        """Queue a device-to-host copy on ``device``'s link (plus, for
+        a remote-node GPU, the NIC hop back to the home node unless
+        ``local=True``)."""
         self._check_device(device)
-        return self._schedule("d2h", nbytes, device, None,
+        node = self._node_of(device)
+        pcie = self._schedule("d2h", nbytes, device, None,
                               not_before=not_before, category=category)
+        if self._multinode and node != 0 and not local:
+            return self._schedule_net(
+                node, 0, nbytes, not_before=pcie.end,
+                category=category if category is not None
+                else CATEGORY_CPU_GPU)
+        return pcie
 
     def p2p(self, src: int, dst: int, nbytes: int, *,
             not_before: float = 0.0, category: str | None = None) -> Transfer:
-        """Queue a direct GPU-to-GPU copy occupying both links.
+        """Queue a GPU-to-GPU copy occupying both links.
 
         ``not_before`` is an issue dependency (e.g. "after the producing
         kernel finishes"): the transfer starts no earlier, on top of the
-        usual link-availability constraints.
+        usual link-availability constraints.  Peers on different nodes
+        route over the NIC (a ``net`` transfer occupying both GPUs'
+        PCIe links and both nodes' NIC ports).
         """
         self._check_device(src)
         self._check_device(dst)
         if src == dst:
             raise ValueError("peer copy requires distinct devices")
+        if self._multinode:
+            a, b = self._node_of(src), self._node_of(dst)
+            if a != b:
+                return self._schedule_net(a, b, nbytes, src=src, dst=dst,
+                                          not_before=not_before,
+                                          category=category)
         return self._schedule("p2p", nbytes, src, dst, not_before=not_before,
                               category=category)
+
+    def net(self, src_node: int, dst_node: int, nbytes: int, *,
+            not_before: float = 0.0, category: str | None = None) -> Transfer:
+        """Queue a host-to-host NIC transfer between two nodes (the
+        aggregated leg of a staged inter-node exchange)."""
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        if src_node == dst_node:
+            raise ValueError("net transfer requires distinct nodes")
+        return self._schedule_net(src_node, dst_node, nbytes,
+                                  not_before=not_before, category=category)
 
     def sync(self, category: str | None = None) -> float:
         """Wait for all queued transfers; advance the clock to the makespan.
@@ -187,6 +335,43 @@ class Bus:
             category = cats.pop()
         before = self.clock.now
         self._advance_to(finish, category)
+        makespan = self.clock.now - before
+        self.completed.extend(self._pending)
+        self._pending.clear()
+        return makespan
+
+    def sync_split(self, category: str = CATEGORY_GPU_GPU,
+                   net_category: str = CATEGORY_NET) -> float:
+        """Wait for all queued transfers, attributing intra-node time
+        to ``category`` and any remaining NIC tail to ``net_category``.
+
+        With no NET transfers pending this is exactly :meth:`sync`
+        with an explicit category (one clock advance, bit for bit), so
+        single-node runs are unchanged.  With NET pending the wait is
+        walked segment by segment: intervals where an intra-node
+        transfer is active land in ``category``, NIC-only intervals in
+        ``net_category`` (and schedule gaps in ``category``), which is
+        how Fig-8-style breakdowns reconcile per node.
+        """
+        if not self._pending:
+            return 0.0
+        before = self.clock.now
+        finish = max(t.end for t in self._pending)
+        if not any(t.category == net_category for t in self._pending):
+            self._advance_to(finish, category)
+        else:
+            ivs = [(max(t.start, before), t.end,
+                    t.category == net_category)
+                   for t in self._pending if t.end > before]
+            points = sorted({before, finish}
+                            | {p for s, e, _ in ivs for p in (s, e)})
+            for a, b in zip(points, points[1:]):
+                mid = (a + b) / 2.0
+                net_only = (any(is_net for s, e, is_net in ivs
+                                if s <= mid < e)
+                            and not any(not is_net for s, e, is_net in ivs
+                                        if s <= mid < e))
+                self._advance_to(b, net_category if net_only else category)
         makespan = self.clock.now - before
         self.completed.extend(self._pending)
         self._pending.clear()
@@ -251,9 +436,21 @@ class Bus:
         """Total completed bytes, optionally filtered by kind."""
         return sum(t.nbytes for t in self.completed if kind is None or t.kind == kind)
 
+    def cross_node_bytes(self) -> int:
+        """Total completed bytes that crossed a node boundary (every
+        transfer that traversed the NIC, staged or direct)."""
+        return sum(t.nbytes for t in self.completed if t.cross_node)
+
     def _check_device(self, device: int) -> None:
         if not (0 <= device < self.machine.gpu_count):
             raise ValueError(
                 f"device {device} out of range for {self.machine.name} "
                 f"({self.machine.gpu_count} GPUs)"
+            )
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.machine.node_count):
+            raise ValueError(
+                f"node {node} out of range for {self.machine.name} "
+                f"({self.machine.node_count} nodes)"
             )

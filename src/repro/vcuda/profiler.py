@@ -16,10 +16,13 @@ from .bus import (
     CATEGORY_GPU_GPU,
     CATEGORY_GPU_GPU_OVERLAPPED,
     CATEGORY_KERNELS,
+    CATEGORY_NET,
+    CATEGORY_NET_OVERLAPPED,
 )
 from .clock import VirtualClock
 
-ALL_CATEGORIES = (CATEGORY_KERNELS, CATEGORY_CPU_GPU, CATEGORY_GPU_GPU)
+ALL_CATEGORIES = (CATEGORY_KERNELS, CATEGORY_CPU_GPU, CATEGORY_GPU_GPU,
+                  CATEGORY_NET)
 
 
 @dataclass(frozen=True)
@@ -35,10 +38,18 @@ class TimeBreakdown:
     #: advanced for it, so ``gpu_gpu`` stays *exposed* comm (Fig. 8)
     #: and this field reports how much the overlap machinery hid.
     gpu_gpu_overlapped: float = 0.0
+    #: Exposed inter-node (NIC) transfer seconds -- the fourth lane
+    #: multi-node breakdowns report next to Fig. 8's three buckets.
+    #: Always zero on a single-node machine.
+    net: float = 0.0
+    #: NET seconds hidden under accounted work (NET analogue of
+    #: ``gpu_gpu_overlapped``; not part of ``total``).
+    net_overlapped: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.kernels + self.cpu_gpu + self.gpu_gpu + self.other
+        return self.kernels + self.cpu_gpu + self.gpu_gpu + self.net \
+            + self.other
 
     def normalized_to(self, denom: float) -> "TimeBreakdown":
         """Breakdown scaled by ``1/denom`` (Fig. 8 normalizes to the
@@ -51,6 +62,8 @@ class TimeBreakdown:
             gpu_gpu=self.gpu_gpu / denom,
             other=self.other / denom,
             gpu_gpu_overlapped=self.gpu_gpu_overlapped / denom,
+            net=self.net / denom,
+            net_overlapped=self.net_overlapped / denom,
         )
 
     def __sub__(self, other: "TimeBreakdown") -> "TimeBreakdown":
@@ -60,6 +73,8 @@ class TimeBreakdown:
             gpu_gpu=self.gpu_gpu - other.gpu_gpu,
             other=self.other - other.other,
             gpu_gpu_overlapped=self.gpu_gpu_overlapped - other.gpu_gpu_overlapped,
+            net=self.net - other.net,
+            net_overlapped=self.net_overlapped - other.net_overlapped,
         )
 
 
@@ -140,11 +155,15 @@ class Profiler:
         kernels = c.elapsed_in(CATEGORY_KERNELS)
         cpu_gpu = c.elapsed_in(CATEGORY_CPU_GPU)
         gpu_gpu = c.elapsed_in(CATEGORY_GPU_GPU)
-        other = c.now - kernels - cpu_gpu - gpu_gpu
+        net = c.elapsed_in(CATEGORY_NET)
+        other = c.now - kernels - cpu_gpu - gpu_gpu - net
         return TimeBreakdown(kernels=kernels, cpu_gpu=cpu_gpu, gpu_gpu=gpu_gpu,
                              other=other,
                              gpu_gpu_overlapped=c.elapsed_in(
-                                 CATEGORY_GPU_GPU_OVERLAPPED))
+                                 CATEGORY_GPU_GPU_OVERLAPPED),
+                             net=net,
+                             net_overlapped=c.elapsed_in(
+                                 CATEGORY_NET_OVERLAPPED))
 
     def begin_region(self) -> None:
         self._region_start = (self.clock.now, self.snapshot())

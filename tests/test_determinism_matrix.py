@@ -22,7 +22,7 @@ import pytest
 
 import repro
 from repro.apps import ALL_APPS, EXTRA_APPS
-from repro.bench.machines import hypothetical_node
+from repro.bench.machines import hypothetical_cluster, hypothetical_node
 from repro.vcuda.specs import MACHINES
 
 APPS = {**ALL_APPS, **EXTRA_APPS}
@@ -119,6 +119,33 @@ def test_kmeans_close_across_gpu_counts(ngpus, baselines):
         rtol=1e-4, atol=1e-4)
     _, args, snap = run_app("kmeans", ngpus)
     APPS["kmeans"].check(args, snap)
+
+
+#: Node axis: the same four GPUs as one node, two nodes of two, and
+#: four single-GPU nodes.  The split and hence the float association
+#: is fixed by the flattened GPU count, so results must be
+#: bit-identical across topologies -- kmeans included.
+NODE_TOPOLOGIES = [(1, 4), (2, 2), (4, 1)]
+NODE_IDS = [f"{n}x{g}" for n, g in NODE_TOPOLOGIES]
+
+
+@pytest.mark.parametrize(("nodes", "gpus"), NODE_TOPOLOGIES, ids=NODE_IDS)
+@pytest.mark.parametrize("app_name", list(APPS))
+def test_bit_identical_across_node_topologies(app_name, nodes, gpus,
+                                              baselines):
+    """Re-sharding four GPUs across 1/2/4 nodes never changes results:
+    the NIC tier and staged exchange are timing-only, like every other
+    transport."""
+    spec = APPS[app_name]
+    base = baselines[(app_name, 4)]
+    prog = repro.compile(spec.source)
+    args = spec.args_for("tiny")
+    cluster = hypothetical_cluster(nodes, gpus)
+    prog.run(spec.entry, args, machine=cluster, ngpus=4)
+    for name, a in base.items():
+        np.testing.assert_array_equal(
+            args[name], a,
+            err_msg=f"{app_name}.{name} differs on {nodes}x{gpus} topology")
 
 
 @pytest.mark.parametrize("app_name", list(APPS))

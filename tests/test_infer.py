@@ -573,3 +573,17 @@ end subroutine saxpy
     def test_unknown_app_errors(self):
         with pytest.raises(SystemExit):
             explain_main(["--app", "nope"])
+
+    def test_topology_cluster(self, capsys):
+        assert explain_main(["--topology", "tsubame2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 nodes" in out and "nic:" in out and "node1" in out
+
+    def test_topology_single_machine(self, capsys):
+        assert explain_main(["--topology", "desktop"]) == 0
+        out = capsys.readouterr().out
+        assert "1 node" in out and "hub0" in out
+
+    def test_topology_unknown_machine_errors(self):
+        with pytest.raises(SystemExit):
+            explain_main(["--topology", "nope"])

@@ -1,0 +1,190 @@
+"""Property tests: the two-level (node, GPU) task splitter.
+
+:func:`~repro.runtime.partition.split_tasks_hierarchical` is the
+multi-node balancer's mapping primitive: level one divides the
+iteration range across nodes by aggregate weight, level two hands each
+node's sub-range to the flat weighted splitter.  Its failure modes are
+the flat splitter's (invalid cover) *plus* its own (node ranges out of
+order, a node's slices leaking into a neighbour's range), so it gets
+the same adversarial treatment as ``tests/test_property_partition.py``:
+
+* exact, ordered, contiguous cover of ``[lower, upper)`` for any node
+  partitioning of 1-8 GPUs under adversarial weights (zeros, NaN,
+  infinities, negatives, denormals);
+* disjointness per node: every GPU's slice stays inside its node's
+  level-one range;
+* determinism, degenerate-weight degradation, and agreement with the
+  flat splitter on single-node layouts;
+* malformed node ranges (gaps, overlaps, empty nodes, wrong endpoints)
+  are rejected with :class:`~repro.runtime.partition.PartitionError`.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, seed, settings, strategies as st
+
+from repro.runtime.partition import (
+    PartitionError,
+    split_tasks,
+    split_tasks_hierarchical,
+    split_tasks_weighted,
+)
+
+_SETTINGS = dict(max_examples=200, deadline=None, database=None)
+
+
+def _case_seed(case_id: str) -> int:
+    digest = hashlib.sha256(case_id.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+#: Adversarial weight values, mirroring the flat splitter's suite.
+_WEIGHTS = st.one_of(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.just(0.0),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.floats(min_value=-10.0, max_value=0.0),
+    st.just(5e-324),  # smallest denormal
+    st.just(1e-300),
+)
+
+_RANGES = st.tuples(st.integers(-50, 1000), st.integers(0, 1000)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+@st.composite
+def _layouts(draw):
+    """A weight vector plus a valid node partitioning of it."""
+    weights = draw(st.lists(_WEIGHTS, min_size=1, max_size=8))
+    ngpus = len(weights)
+    cuts = sorted(draw(st.sets(st.integers(1, max(1, ngpus - 1)),
+                               max_size=ngpus - 1)) | {0, ngpus})
+    node_ranges = [(cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1)]
+    return weights, node_ranges
+
+
+def assert_exact_cover(tasks, lower, upper, ngpus):
+    assert len(tasks) == ngpus
+    start = lower
+    for t0, t1 in tasks:
+        assert t0 == start, f"gap/overlap at {t0} (expected {start})"
+        assert t1 >= t0, f"negative slice ({t0}, {t1})"
+        start = t1
+    assert start == max(lower, upper)
+
+
+class TestHierarchicalCover:
+    @seed(_case_seed("TestHierarchicalCover::test_exact_cover_adversarial"))
+    @given(_RANGES, _layouts(), st.integers(0, 16))
+    @settings(**_SETTINGS)
+    def test_exact_cover_adversarial(self, bounds, layout, min_chunk):
+        lower, upper = bounds
+        weights, node_ranges = layout
+        tasks = split_tasks_hierarchical(lower, upper, weights, node_ranges,
+                                         min_chunk)
+        assert_exact_cover(tasks, lower, upper, len(weights))
+
+    @seed(_case_seed("TestHierarchicalCover::test_node_disjointness"))
+    @given(_RANGES, _layouts(), st.integers(0, 16))
+    @settings(**_SETTINGS)
+    def test_node_disjointness(self, bounds, layout, min_chunk):
+        """Every GPU's slice stays inside its node's level-one range:
+        nodes own disjoint task intervals, in node order."""
+        lower, upper = bounds
+        weights, node_ranges = layout
+        tasks = split_tasks_hierarchical(lower, upper, weights, node_ranges,
+                                         min_chunk)
+        node_end = lower
+        for glo, ghi in node_ranges:
+            node_lo = tasks[glo][0]
+            node_hi = tasks[ghi - 1][1]
+            assert node_lo == node_end, "node ranges out of order"
+            assert node_hi >= node_lo
+            for g in range(glo, ghi):
+                t0, t1 = tasks[g]
+                assert node_lo <= t0 <= t1 <= node_hi, (
+                    f"gpu {g} slice ({t0}, {t1}) leaks out of node "
+                    f"interval ({node_lo}, {node_hi})")
+            node_end = node_hi
+        assert node_end == max(lower, upper)
+
+    @seed(_case_seed("TestHierarchicalCover::test_deterministic"))
+    @given(_RANGES, _layouts(), st.integers(0, 16))
+    @settings(**_SETTINGS)
+    def test_deterministic(self, bounds, layout, min_chunk):
+        lower, upper = bounds
+        weights, node_ranges = layout
+        a = split_tasks_hierarchical(lower, upper, weights, node_ranges,
+                                     min_chunk)
+        b = split_tasks_hierarchical(lower, upper, list(weights),
+                                     list(node_ranges), min_chunk)
+        assert a == b
+
+    @seed(_case_seed("TestHierarchicalCover::test_single_node_is_flat"))
+    @given(_RANGES, st.lists(_WEIGHTS, min_size=1, max_size=8),
+           st.integers(0, 16))
+    @settings(**_SETTINGS)
+    def test_single_node_is_flat(self, bounds, weights, min_chunk):
+        """One node covering every GPU degenerates to the flat split --
+        the structural half of the 1-node bit-identity guarantee."""
+        lower, upper = bounds
+        ngpus = len(weights)
+        flat = split_tasks_weighted(lower, upper, weights, min_chunk)
+        hier = split_tasks_hierarchical(lower, upper, weights,
+                                        [(0, ngpus)], min_chunk)
+        assert hier == flat
+
+    @seed(_case_seed("TestHierarchicalCover::test_degenerate_weights"))
+    @given(_RANGES, _layouts().filter(lambda l: len(l[1]) > 1),
+           st.sampled_from(["zeros", "nans", "infs", "negative"]))
+    @settings(**_SETTINGS)
+    def test_degenerate_weights(self, bounds, layout, kind):
+        """All-degenerate weights degrade level by level to equal
+        splits: nodes get GPU-count-proportional shares of the range
+        (each level's equal split, composed)."""
+        lower, upper = bounds
+        weights, node_ranges = layout
+        ngpus = len(weights)
+        value = {"zeros": 0.0, "nans": float("nan"), "infs": float("inf"),
+                 "negative": -1.0}[kind]
+        tasks = split_tasks_hierarchical(lower, upper, [value] * ngpus,
+                                         node_ranges)
+        assert_exact_cover(tasks, lower, upper, ngpus)
+        node_tasks = split_tasks(lower, upper, len(node_ranges))
+        for (glo, ghi), (tlo, thi) in zip(node_ranges, node_tasks):
+            assert tasks[glo][0] == tlo and tasks[ghi - 1][1] == thi
+
+    @seed(_case_seed("TestHierarchicalCover::test_starved_node"))
+    @given(st.integers(10, 500), st.integers(1, 3), st.integers(1, 3))
+    @settings(**_SETTINGS)
+    def test_starved_node(self, total, a_gpus, b_gpus):
+        """A node whose every GPU weighs zero receives an empty task
+        interval; the working node absorbs the whole range."""
+        weights = [0.0] * a_gpus + [1.0] * b_gpus
+        node_ranges = [(0, a_gpus), (a_gpus, a_gpus + b_gpus)]
+        tasks = split_tasks_hierarchical(0, total, weights, node_ranges)
+        assert_exact_cover(tasks, 0, total, a_gpus + b_gpus)
+        for g in range(a_gpus):
+            assert tasks[g][0] == tasks[g][1] == 0
+        assert tasks[-1][1] == total
+
+
+class TestMalformedNodeRanges:
+    @pytest.mark.parametrize("node_ranges", [
+        [],                       # no nodes at all
+        [(0, 2)],                 # does not reach ngpus
+        [(1, 4)],                 # does not start at 0
+        [(0, 2), (3, 4)],         # gap
+        [(0, 3), (2, 4)],         # overlap
+        [(0, 2), (2, 2), (2, 4)],  # empty node
+        [(2, 4), (0, 2)],         # out of order
+    ])
+    def test_rejected(self, node_ranges):
+        with pytest.raises(PartitionError):
+            split_tasks_hierarchical(0, 100, [1.0] * 4, node_ranges)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(PartitionError):
+            split_tasks_hierarchical(0, 100, [], [])

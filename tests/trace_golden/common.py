@@ -8,13 +8,21 @@ import os
 
 from repro.api import compile as compile_acc
 from repro.apps import ALL_APPS, EXTRA_APPS
-from repro.bench.machines import hypothetical_node
+from repro.bench.machines import hypothetical_cluster, hypothetical_node
 from repro.translator.compiler import CompileOptions
 from repro.vcuda.specs import MACHINES
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
 GPU_COUNTS = (1, 2, 4)
 APPS = dict(ALL_APPS) | dict(EXTRA_APPS)
+
+#: Multi-node golden matrix: node x GPU-per-node topologies for two
+#: representative apps (md: replica-heavy; jacobi: halo-heavy).  The
+#: 1x2 row pins that a one-node cluster traces exactly like a node.
+CLUSTER_TOPOLOGIES = ((1, 2), (2, 2), (2, 4))
+CLUSTER_APPS = ("md", "jacobi")
+CLUSTER_CASES = [(name, nodes, gpus) for name in CLUSTER_APPS
+                 for nodes, gpus in CLUSTER_TOPOLOGIES]
 
 #: Apps with a golden for the *fused* schedule too (the ones whose
 #: schedule the fusion pass actually rewrites: merged launches, elided
@@ -47,4 +55,23 @@ def traced_run(app: str, ngpus: int, fuse: bool = False):
 
 def load_golden(app: str, ngpus: int, fuse: bool = False) -> dict:
     with open(golden_path(app, ngpus, fuse)) as f:
+        return json.load(f)
+
+
+def cluster_golden_path(app: str, nodes: int, gpus_per_node: int) -> str:
+    return os.path.join(GOLDEN_DIR, f"{app}-{nodes}x{gpus_per_node}node.json")
+
+
+@functools.lru_cache(maxsize=None)
+def traced_cluster_run(app: str, nodes: int, gpus_per_node: int):
+    """One traced tiny-workload cluster run per topology, cached."""
+    spec = APPS[app]
+    prog = compile_acc(spec.source)
+    cluster = hypothetical_cluster(nodes, gpus_per_node)
+    return prog.run(spec.entry, spec.args_for("tiny"), machine=cluster,
+                    ngpus=cluster.gpu_count, trace=True)
+
+
+def load_cluster_golden(app: str, nodes: int, gpus_per_node: int) -> dict:
+    with open(cluster_golden_path(app, nodes, gpus_per_node)) as f:
         return json.load(f)

@@ -19,10 +19,20 @@ import pytest
 from repro.trace.export import reconcile
 from repro.trace.golden import check_invariants, diff, normalize
 
-from .common import CASES, golden_path, load_golden, traced_run
+from .common import (
+    CASES,
+    CLUSTER_CASES,
+    cluster_golden_path,
+    golden_path,
+    load_cluster_golden,
+    load_golden,
+    traced_cluster_run,
+    traced_run,
+)
 
 CASE_IDS = [f"{app}-{g}gpu" + ("-fused" if fuse else "")
             for app, g, fuse in CASES]
+CLUSTER_IDS = [f"{app}-{n}x{g}node" for app, n, g in CLUSTER_CASES]
 
 
 @pytest.mark.parametrize(("app", "ngpus", "fuse"), CASES, ids=CASE_IDS)
@@ -68,3 +78,57 @@ def test_trace_byte_totals_match_bus(app, ngpus, fuse):
         traced = summary["transfer_bytes"].get(kind, 0)
         assert traced == bus.bytes_moved(kind), (
             f"{kind}: traced {traced} != bus {bus.bytes_moved(kind)}")
+
+
+# -- multi-node topologies ---------------------------------------------------
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus"), CLUSTER_CASES,
+                         ids=CLUSTER_IDS)
+def test_cluster_trace_invariants(app, nodes, gpus):
+    run = traced_cluster_run(app, nodes, gpus)
+    assert run.tracer is not None
+    check_invariants(run.tracer)
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus"), CLUSTER_CASES,
+                         ids=CLUSTER_IDS)
+def test_cluster_trace_matches_golden(app, nodes, gpus):
+    path = cluster_golden_path(app, nodes, gpus)
+    assert os.path.exists(path), (
+        f"no golden for {app} {nodes}x{gpus}node; run "
+        "tests/trace_golden/update_goldens.py")
+    run = traced_cluster_run(app, nodes, gpus)
+    summary = normalize(run.tracer)
+    problems = diff(summary, load_cluster_golden(app, nodes, gpus))
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus"), CLUSTER_CASES,
+                         ids=CLUSTER_IDS)
+def test_cluster_trace_reconciles_with_breakdown(app, nodes, gpus):
+    """The Fig. 8 identity holds per node-extended bucket set: the NET
+    lane reconciles exactly like the single-node categories."""
+    run = traced_cluster_run(app, nodes, gpus)
+    rows = reconcile(run.tracer, run.breakdown)
+    for bucket, row in rows.items():
+        tol = 1e-9 if bucket == "other" else 0.0
+        assert abs(row["residual"]) <= tol, (
+            f"{bucket}: traced {row['traced']!r} != reported "
+            f"{row['reported']!r}")
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus"), CLUSTER_CASES,
+                         ids=CLUSTER_IDS)
+def test_cluster_trace_byte_totals_match_bus(app, nodes, gpus):
+    """Traced bytes equal bus bytes per kind, the NIC lane included."""
+    run = traced_cluster_run(app, nodes, gpus)
+    summary = normalize(run.tracer)
+    bus = run.platform.bus
+    for kind in ("h2d", "d2h", "p2p", "net"):
+        traced = summary["transfer_bytes"].get(kind, 0)
+        assert traced == bus.bytes_moved(kind), (
+            f"{kind}: traced {traced} != bus {bus.bytes_moved(kind)}")
+    if nodes > 1:
+        assert summary["transfer_bytes"].get("net", 0) > 0, (
+            "multi-node run never touched the NIC")

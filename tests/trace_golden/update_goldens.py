@@ -23,10 +23,20 @@ from repro.trace.golden import check_invariants, normalize  # noqa: E402
 
 from tests.trace_golden.common import (  # noqa: E402
     CASES,
+    CLUSTER_CASES,
     GOLDEN_DIR,
+    cluster_golden_path,
     golden_path,
+    traced_cluster_run,
     traced_run,
 )
+
+
+def _write(path: str, summary: dict) -> None:
+    with open(path, "w") as f:
+        json.dump(summary, f, indent=1, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {os.path.relpath(path)}")
 
 
 def main() -> int:
@@ -34,12 +44,11 @@ def main() -> int:
     for app, ngpus, fuse in CASES:
         run = traced_run(app, ngpus, fuse)
         check_invariants(run.tracer)
-        summary = normalize(run.tracer)
-        path = golden_path(app, ngpus, fuse)
-        with open(path, "w") as f:
-            json.dump(summary, f, indent=1, sort_keys=False)
-            f.write("\n")
-        print(f"wrote {os.path.relpath(path)}")
+        _write(golden_path(app, ngpus, fuse), normalize(run.tracer))
+    for app, nodes, gpus in CLUSTER_CASES:
+        run = traced_cluster_run(app, nodes, gpus)
+        check_invariants(run.tracer)
+        _write(cluster_golden_path(app, nodes, gpus), normalize(run.tracer))
     return 0
 
 
