@@ -166,6 +166,7 @@ class AccProgram:
         trace: bool | None = None,
         fastpath: bool = True,
         internode: str = "staged",
+        collective: str = "none",
     ) -> ProgramRun:
         """Execute ``entry`` with ``args`` on a virtual machine.
 
@@ -215,6 +216,18 @@ class AccProgram:
         scatter on arrival -- while ``"naive"`` ships one NIC transfer
         per GPU pair.  Both are timing-only knobs; single-node runs
         never touch the NIC and ignore the choice.
+
+        ``collective`` upgrades the staged transport's broadcast and
+        exchange schedules (docs/COLLECTIVES.md): ``"ring"`` pipelines
+        chunked broadcasts around a group-contiguous node ring (and a
+        hub-local GPU ring inside a node), ``"tree"`` uses a binomial
+        tree, and ``"auto"`` prices both per transfer against the
+        modeled topology and takes the cheaper.  Any value other than
+        the default ``"none"`` also enables the staged-exchange
+        progress engine, which overlaps the gather/NIC/scatter legs in
+        NIC-sized chunks.  Timing-only like ``internode``: results are
+        bit-identical across all four modes, and one-GPU or
+        ``"none"``-mode runs reproduce the legacy schedule exactly.
         """
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
@@ -246,7 +259,7 @@ class AccProgram:
                                overlap=overlap, coalesce=coalesce,
                                adaptive=adaptive, sanitizer=sanitizer,
                                tracer=tracer, fastpath=fastpath,
-                               internode=internode)
+                               internode=internode, collective=collective)
         host = HostExecutor(self.compiled, executor)
         result = host.call(entry, args)
         return ProgramRun(

@@ -303,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
                      help="print the node/hub/GPU topology tree of a "
                           "Table I machine or named cluster instead of "
                           "explaining a program")
+    src.add_argument("--collectives", metavar="MACHINE",
+                     help="print the collective schedule report for a "
+                          "named cluster: modeled ring vs tree broadcast "
+                          "cost across payload sizes and which schedule "
+                          "collective='auto' picks")
     ap.add_argument("--fortran", action="store_true",
                     help="parse the file as OpenACC Fortran")
     ap.add_argument("--no-infer", action="store_true",
@@ -323,6 +328,15 @@ def main(argv: list[str] | None = None) -> int:
             ap.error(f"unknown machine {ns.topology!r}; "
                      f"choose from {', '.join(sorted(known))}")
         print(render_topology(known[ns.topology]))
+        return 0
+
+    if ns.collectives is not None:
+        from .vcuda.specs import CLUSTERS, MACHINES
+        known = {**MACHINES, **CLUSTERS}
+        if ns.collectives not in known:
+            ap.error(f"unknown machine {ns.collectives!r}; "
+                     f"choose from {', '.join(sorted(known))}")
+        print(render_collectives(known[ns.collectives]))
         return 0
 
     options = CompileOptions(infer=not ns.no_infer, fuse=ns.fuse)
@@ -445,6 +459,52 @@ def render_topology(spec: Any) -> str:
     if degraded:
         lines.append("overridden links:")
         lines += degraded
+    return "\n".join(lines)
+
+
+def render_collectives(spec: Any) -> str:
+    """Collective schedule report for a cluster: the modeled ring vs
+    tree broadcast cost (source node 0 to every other node) across
+    payload sizes, and the schedule ``collective="auto"`` would pick
+    for each.  The same :func:`repro.runtime.collectives.
+    node_schedule_costs` model drives the runtime's selection, so this
+    table *is* the auto rule for the given fabric
+    (docs/COLLECTIVES.md)."""
+    from .runtime.collectives import node_schedule_costs, ring_order
+    from .vcuda.specs import ClusterSpec
+
+    if not isinstance(spec, ClusterSpec):
+        return (f"{spec.name}: single node -- no NIC, no inter-node "
+                f"collectives.\nIntra-node broadcasts may still use a "
+                f"hub-local ring or binomial p2p tree; see "
+                f"docs/COLLECTIVES.md.")
+
+    nodes = list(range(spec.node_count))
+    dsts = nodes[1:]
+    chunk = spec.nic.collective_chunk_bytes
+    lines = [f"{spec.name}: collective broadcast schedules "
+             f"(node0 -> {spec.node_count - 1} nodes)",
+             f"  nic: {spec.nic.name}  {spec.nic.bandwidth / 1e9:.2f} GB/s, "
+             f"{spec.nic.latency * 1e6:.1f} us, "
+             f"pipeline chunk {chunk // 1024} KiB",
+             f"  ring path: "
+             + " -> ".join(f"node{n}"
+                           for n in ring_order(spec, 0, nodes)),
+             "",
+             f"  {'payload':>10s} {'ring':>12s} {'tree':>12s}   auto"]
+    for nbytes in (4 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024):
+        costs = node_schedule_costs(spec, 0, dsts, nbytes, chunk)
+        pick = "ring" if costs["ring"] < costs["tree"] else "tree"
+        label = (f"{nbytes // 1024} KiB" if nbytes < 1024 * 1024
+                 else f"{nbytes // (1024 * 1024)} MiB")
+        lines.append(f"  {label:>10s} {costs['ring'] * 1e6:>10.1f}us "
+                     f"{costs['tree'] * 1e6:>10.1f}us   {pick}")
+    lines += [
+        "",
+        "  Any collective mode also enables the staged-exchange",
+        "  progress engine: gather/NIC/scatter legs pipeline in",
+        "  chunk-sized pieces so NIC time hides behind PCIe time.",
+    ]
     return "\n".join(lines)
 
 

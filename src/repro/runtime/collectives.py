@@ -1,0 +1,404 @@
+"""Topology-aware collective communication engine (docs/COLLECTIVES.md).
+
+The PR 9 cluster tier ships inter-node replica broadcasts as one NIC
+transfer per destination node and staged exchanges as a serialized
+gather -> NIC -> scatter per node pair.  This module replaces both with
+structured collectives chosen from the modeled topology:
+
+* **ring** -- a chunked pipeline around a group-contiguous node ring
+  (PCIe-hub-local ring inside a node).  Bandwidth-optimal for large
+  payloads: the slowest link is loaded once per chunk instead of once
+  per destination, and chunk *k* on leg *i+1* overlaps chunk *k+1* on
+  leg *i*.
+* **tree** -- a binomial tree, ``ceil(log2 N)`` rounds of concurrent
+  full-payload sends.  Latency-optimal for small payloads.
+* **auto** -- price both against the modeled per-edge bandwidth and
+  latency (:func:`node_schedule_costs`) and take the cheaper one; the
+  oversubscribed cross-group bandwidth of a two-level fabric enters the
+  edge costs directly and acts as the tiebreak.
+
+A *progress engine* (:meth:`CollectiveEngine.exchange`) reschedules the
+staged node-pair exchange as a chunked pipeline so the NIC leg of chunk
+*k* hides behind the PCIe gather/scatter legs of chunks *k±1*.
+
+Everything here only re-prices *when* modeled transfers happen; array
+data is applied eagerly by the comm manager before any schedule runs,
+so results are bit-identical across ``collective`` modes by
+construction (the determinism matrix pins it).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, Callable
+
+from ..vcuda.bus import CATEGORY_GPU_GPU, Bus, Transfer
+from ..vcuda.specs import ClusterSpec
+from ..trace.events import (
+    MECH_COLLECTIVE_PIPELINE,
+    MECH_COLLECTIVE_RING,
+    MECH_COLLECTIVE_TREE,
+)
+
+__all__ = [
+    "COLLECTIVE_MODES",
+    "CollectiveEngine",
+    "node_schedule_costs",
+    "ring_order",
+    "select_node_schedule",
+    "tree_rounds",
+]
+
+#: Valid values of the ``collective`` run flag.
+COLLECTIVE_MODES = ("none", "auto", "ring", "tree")
+
+#: ``note(transfer, src_gpu, dst_gpu)`` -- the comm manager's overlap
+#: bookkeeping hook (stream mirroring + event dependences).
+NoteFn = Callable[[Transfer, int | None, int | None], None]
+#: ``floor(*gpus)`` -- earliest issue time for a transfer touching the
+#: given GPUs (their queued kernels still own the buffers).
+FloorFn = Callable[..., float]
+
+
+# ---------------------------------------------------------------------------
+# Pure cost model (no platform required -- `explain --collectives` uses
+# these directly on a spec).
+# ---------------------------------------------------------------------------
+
+def ring_order(cluster: ClusterSpec, src_node: int,
+               nodes: list[int]) -> list[int]:
+    """Order ``nodes`` (which must include ``src_node``) into a
+    broadcast path starting at the source with each leaf-switch group
+    contiguous: the path crosses the root switch once per extra group
+    -- the minimum for a connected path -- instead of once per hop."""
+    src_group = cluster.group_of(src_node)
+    rest = sorted(n for n in nodes if n != src_node)
+    rest.sort(key=lambda n: (cluster.group_of(n) != src_group,
+                             cluster.group_of(n), n))
+    return [src_node] + rest
+
+
+def tree_rounds(count: int) -> list[list[tuple[int, int]]]:
+    """Binomial broadcast rounds over ``count`` participants (index 0
+    is the root): round *r* doubles the set of holders, so ``ceil(log2
+    count)`` rounds total.  Returns ``(sender_index, receiver_index)``
+    pairs per round."""
+    rounds: list[list[tuple[int, int]]] = []
+    have = 1
+    while have < count:
+        senders = min(have, count - have)
+        rounds.append([(s, have + s) for s in range(senders)])
+        have += senders
+    return rounds
+
+
+def _edge_cost(cluster: ClusterSpec, a: int, b: int, nbytes: int) -> float:
+    """Unloaded cost of one NIC message between nodes ``a`` and ``b``;
+    ``inf`` for a dead/degraded-to-zero link so ``auto`` never picks a
+    schedule across it when an alternative exists."""
+    bw = cluster.link_bandwidth(a, b)
+    if not (bw > 0.0) or bw != bw or bw == float("inf"):
+        return float("inf")
+    return cluster.link_latency(a, b) + nbytes / bw
+
+
+def node_schedule_costs(cluster: ClusterSpec, src_node: int,
+                        dst_nodes: list[int], nbytes: int,
+                        chunk_bytes: int | None = None) -> dict[str, float]:
+    """Modeled cost of broadcasting ``nbytes`` from ``src_node`` to
+    ``dst_nodes`` under each schedule.
+
+    ring: ``K`` chunks pipeline over ``H`` hops.  One hop degenerates
+    to ``K`` serialized messages; with relays every interior NIC port
+    is half-duplex (it cannot receive chunk *k+1* while forwarding
+    chunk *k*), so the steady-state period is two steps per chunk:
+    ``(H + 2*(K-1)) * max_edge_step``.
+
+    tree: ``ceil(log2 N)`` rounds, each costing its slowest edge's
+    full-payload message.
+    """
+    participants = [src_node] + sorted(set(dst_nodes) - {src_node})
+    if len(participants) < 2 or nbytes <= 0:
+        return {"ring": 0.0, "tree": 0.0}
+    if chunk_bytes is None:
+        chunk_bytes = cluster.nic.collective_chunk_bytes
+    path = ring_order(cluster, src_node, participants)
+    chunks = Bus.split_chunks(nbytes, chunk_bytes)
+    hops = len(path) - 1
+    step = max(_edge_cost(cluster, a, b, chunks[0])
+               for a, b in zip(path, path[1:]))
+    if hops == 1:
+        ring = len(chunks) * step
+    else:
+        ring = (hops + 2 * (len(chunks) - 1)) * step
+    tree = 0.0
+    for rnd in tree_rounds(len(path)):
+        tree += max(_edge_cost(cluster, path[s], path[d], nbytes)
+                    for s, d in rnd)
+    return {"ring": ring, "tree": tree}
+
+
+def select_node_schedule(cluster: ClusterSpec, src_node: int,
+                         dst_nodes: list[int], nbytes: int,
+                         chunk_bytes: int | None = None) -> str:
+    """The ``auto`` rule: cheaper modeled schedule, ties to ``tree``
+    (fewer messages on the wire for the same modeled time)."""
+    costs = node_schedule_costs(cluster, src_node, dst_nodes, nbytes,
+                                chunk_bytes)
+    return "ring" if costs["ring"] < costs["tree"] else "tree"
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class CollectiveEngine:
+    """Schedules collective broadcasts and pipelined staged exchanges
+    on behalf of the comm manager.
+
+    The engine owns *pricing only*: it issues the modeled transfers
+    (and their dependences) on the bus and records per-schedule
+    telemetry; the comm manager has already applied the array data with
+    NumPy before calling in, and keeps all byte accounting
+    (``bytes_replica`` / ``bytes_internode``) so ablation comparisons
+    stay apples-to-apples across transports.
+    """
+
+    def __init__(self, platform: Any, mode: str,
+                 tracer: Any | None = None) -> None:
+        if mode not in COLLECTIVE_MODES or mode == "none":
+            raise ValueError(
+                f"collective engine mode must be one of "
+                f"{COLLECTIVE_MODES[1:]}, got {mode!r}")
+        self.platform = platform
+        self.bus: Bus = platform.bus
+        self.machine = self.bus.machine
+        self.mode = mode
+        self.tracer = tracer
+        nic = getattr(self.machine, "nic", None)
+        #: NIC pipeline chunk (0 on single-node machines: no NIC).
+        self.net_chunk = nic.collective_chunk_bytes if nic is not None else 0
+        #: Telemetry: collective broadcasts issued per schedule.
+        self.broadcasts = {"ring": 0, "tree": 0}
+        #: Telemetry: pipelined staged exchanges (progress engine).
+        self.exchanges = 0
+        #: Telemetry: total pipeline steps (one modeled transfer on the
+        #: critical structure: a NET chunk hop or a p2p ring hop).
+        self.steps = 0
+        #: Telemetry: wire bytes scheduled per schedule (every hop
+        #: counted -- a relayed chunk pays each leg it traverses).
+        self.bytes_scheduled = {"ring": 0, "tree": 0, "pipeline": 0}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _tag(self, mechanism: str, array: str | None):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.tag(mechanism, array)
+
+    def _record(self, schedule: str, scope: str, steps: int,
+                nbytes: int) -> None:
+        self.steps += steps
+        self.bytes_scheduled[schedule] = (
+            self.bytes_scheduled.get(schedule, 0) + nbytes)
+        if self.tracer is not None:
+            self.tracer.metrics.count("collective_steps", steps,
+                                      schedule=schedule, scope=scope)
+            self.tracer.metrics.count("collective_bytes", nbytes,
+                                      schedule=schedule, scope=scope)
+
+    def _pcie_chunk(self, g: int) -> int:
+        return self.machine.node_bus(
+            self.machine.node_of(g)).collective_chunk_bytes
+
+    def select(self, src_node: int, dst_nodes: list[int],
+               nbytes: int) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return select_node_schedule(self.machine, src_node, dst_nodes,
+                                    nbytes, self.net_chunk)
+
+    # -- inter-node broadcast ---------------------------------------------------
+
+    def node_broadcast(self, array: str | None, g: int,
+                       members_by_node: dict[int, list[int]], total: int,
+                       floor: FloorFn, note: NoteFn) -> str:
+        """Broadcast one source GPU's ``total`` shared dirty bytes to
+        replica members on other nodes: chunked D2H gather on the
+        source, ring or tree NIC schedule between the node hosts, then
+        a per-member H2D scatter chained on each chunk's arrival."""
+        bus = self.bus
+        src_node = self.machine.node_of(g)
+        dst_nodes = sorted(members_by_node)
+        schedule = self.select(src_node, dst_nodes, total)
+        mech = (MECH_COLLECTIVE_RING if schedule == "ring"
+                else MECH_COLLECTIVE_TREE)
+        path = ring_order(self.machine, src_node, [src_node] + dst_nodes)
+        with self._tag(mech, array):
+            if schedule == "ring":
+                chunks = Bus.split_chunks(total, self.net_chunk)
+                gather_floor = floor(g)
+                ready = []
+                for c in chunks:
+                    d = bus.d2h(g, c, not_before=gather_floor,
+                                category=CATEGORY_GPU_GPU, local=True)
+                    note(d, g, None)
+                    ready.append(d.end)
+                arrivals = bus.net_pipeline(path, chunks, chunk_ready=ready)
+                for tr in (t for ts in arrivals.values() for t in ts):
+                    note(tr, None, None)
+                for dn in dst_nodes:
+                    for t in sorted(members_by_node[dn]):
+                        t_floor = floor(t)
+                        for tr in arrivals[dn]:
+                            h = bus.h2d(t, tr.nbytes,
+                                        not_before=max(tr.end, t_floor),
+                                        category=CATEGORY_GPU_GPU,
+                                        local=True)
+                            note(h, None, t)
+                steps = len(chunks) * (len(path) - 1)
+                wire = total * (len(path) - 1)
+            else:
+                d = bus.d2h(g, total, not_before=floor(g),
+                            category=CATEGORY_GPU_GPU, local=True)
+                note(d, g, None)
+                done = {src_node: d.end}
+                steps = 0
+                for rnd in tree_rounds(len(path)):
+                    for s, r in rnd:
+                        tr = bus.net(path[s], path[r], total,
+                                     not_before=done[path[s]])
+                        note(tr, None, None)
+                        done[path[r]] = tr.end
+                        steps += 1
+                for dn in dst_nodes:
+                    for t in sorted(members_by_node[dn]):
+                        h = bus.h2d(t, total,
+                                    not_before=max(done[dn], floor(t)),
+                                    category=CATEGORY_GPU_GPU, local=True)
+                        note(h, None, t)
+                wire = total * (len(path) - 1)
+        self.broadcasts[schedule] += 1
+        self._record(schedule, "internode", steps, wire)
+        return schedule
+
+    # -- staged-exchange progress engine ---------------------------------------
+
+    def exchange(self, array: str | None, src_node: int, dst_node: int,
+                 outbound: dict[int, int], inbound: dict[int, int],
+                 floor: FloorFn, note: NoteFn) -> int:
+        """Pipelined staged exchange for one node pair: split each
+        source GPU's payload into NIC-sized chunks and chain D2H ->
+        NET -> H2D per chunk, so the NIC leg of chunk *k* overlaps the
+        gather of chunk *k+1* and the scatter of chunk *k-1* -- NIC
+        time hides behind intra-node PCIe time instead of serializing
+        after it.  Returns the number of pipeline steps (NET chunks)."""
+        bus = self.bus
+        stream: list[tuple[int, float]] = []
+        with self._tag(MECH_COLLECTIVE_PIPELINE, array):
+            for g in sorted(outbound):
+                g_floor = floor(g)
+                for c in Bus.split_chunks(outbound[g], self.net_chunk):
+                    d = bus.d2h(g, c, not_before=g_floor,
+                                category=CATEGORY_GPU_GPU, local=True)
+                    note(d, g, None)
+                    net = bus.net(src_node, dst_node, c, not_before=d.end)
+                    note(net, None, None)
+                    stream.append((c, net.end))
+            # Scatter consumes the chunk stream in order: destination
+            # bytes map onto whichever NET chunks delivered them, and
+            # each H2D piece waits only for *its* chunk, not the last.
+            i = 0
+            rem = stream[0][0] if stream else 0
+            for t in sorted(inbound):
+                need = inbound[t]
+                t_floor = floor(t)
+                while need > 0:
+                    take = min(need, rem)
+                    h = bus.h2d(t, take,
+                                not_before=max(stream[i][1], t_floor),
+                                category=CATEGORY_GPU_GPU, local=True)
+                    note(h, None, t)
+                    need -= take
+                    rem -= take
+                    if rem == 0 and i + 1 < len(stream):
+                        i += 1
+                        rem = stream[i][0]
+        self.exchanges += 1
+        total = sum(outbound.values())
+        self._record("pipeline", "internode", len(stream), total)
+        return len(stream)
+
+    # -- intra-node broadcast ---------------------------------------------------
+
+    def _gpu_order(self, g: int, targets: list[int]) -> list[int]:
+        """PCIe-hub-local ring: same-hub peers first so the chain
+        crosses the QPI/IOH boundary once per extra hub, not per hop."""
+        src_hub = self.machine.hub_of(g)
+        rest = sorted(targets)
+        rest.sort(key=lambda t: (self.machine.hub_of(t) != src_hub,
+                                 self.machine.hub_of(t), t))
+        return [g] + rest
+
+    def gpu_broadcast(self, array: str | None, g: int, targets: list[int],
+                      runs: list[tuple[int, int]], total: int,
+                      floor: FloorFn, note: NoteFn) -> str | None:
+        """Intra-node replica broadcast as a hub-local ring chain or a
+        binomial p2p tree.  Returns the schedule used, or ``None`` when
+        the engine declines (fewer than two targets, or ``auto`` prices
+        the existing direct fan-out cheaper) -- the caller then falls
+        back to the legacy path unchanged."""
+        if total <= 0 or len(targets) < 2:
+            return None
+        bus = self.bus
+        order = self._gpu_order(g, targets)
+        chunk = self._pcie_chunk(g)
+        chunks = Bus.split_chunks(total, chunk)
+        edges = list(zip(order, order[1:]))
+        hop = max(bus.duration("p2p", chunks[0], a, b) for a, b in edges)
+        if len(edges) == 1:
+            ring_cost = len(chunks) * hop
+        else:
+            ring_cost = (len(edges) + 2 * (len(chunks) - 1)) * hop
+        rounds = tree_rounds(len(order))
+        tree_cost = sum(
+            max(bus.duration("p2p", total, order[s], order[r])
+                for s, r in rnd)
+            for rnd in rounds)
+        if self.mode == "auto":
+            direct = sum(bus.duration("p2p", n, g, t)
+                         for t in targets for _, n in runs)
+            if direct <= min(ring_cost, tree_cost):
+                return None
+            schedule = "ring" if ring_cost < tree_cost else "tree"
+        else:
+            schedule = self.mode
+        mech = (MECH_COLLECTIVE_RING if schedule == "ring"
+                else MECH_COLLECTIVE_TREE)
+        with self._tag(mech, array):
+            if schedule == "ring":
+                # Chunk-major issue order, mirroring Bus.net_pipeline:
+                # GPU-link occupancy is a scalar free-at, so leg-major
+                # order would stall relays on the whole inbound leg.
+                for c in chunks:
+                    ready = 0.0
+                    for a, b in edges:
+                        tr = bus.p2p(a, b, c,
+                                     not_before=max(ready, floor(a, b)))
+                        note(tr, a, b)
+                        ready = tr.end
+                steps = len(chunks) * len(edges)
+            else:
+                done = {g: 0.0}
+                steps = 0
+                for rnd in rounds:
+                    for s, r in rnd:
+                        a, b = order[s], order[r]
+                        tr = bus.p2p(a, b, total,
+                                     not_before=max(done[a], floor(a, b)))
+                        note(tr, a, b)
+                        done[b] = tr.end
+                        steps += 1
+        self.broadcasts[schedule] += 1
+        self._record(schedule, "intranode", steps, total * len(edges))
+        return schedule

@@ -58,6 +58,7 @@ from ..translator.array_config import ArrayConfig, Placement, WriteHandling
 from ..vcuda.api import Platform
 from ..vcuda.bus import Bus, CATEGORY_GPU_GPU, Transfer
 from ..vcuda.stream import Event, Stream
+from .collectives import COLLECTIVE_MODES, CollectiveEngine
 from .data_loader import DataLoader, ManagedArray, _uniform_signature
 from .partition import owner_of
 from .writemiss import RECORD_BYTES
@@ -96,10 +97,15 @@ class CommunicationManager:
                  coalesce: bool = False,
                  tracer: Any | None = None,
                  fastpath: bool = True,
-                 internode: str = "staged") -> None:
+                 internode: str = "staged",
+                 collective: str = "none") -> None:
         if internode not in ("staged", "naive"):
             raise ValueError(
                 f"internode must be 'staged' or 'naive', got {internode!r}")
+        if collective not in COLLECTIVE_MODES:
+            raise ValueError(
+                f"collective must be one of {COLLECTIVE_MODES}, "
+                f"got {collective!r}")
         self.platform = platform
         self.loader = loader
         #: Cross-node transport for halo/miss/windowed/replica traffic:
@@ -108,6 +114,18 @@ class CommunicationManager:
         #: on arrival); ``naive`` ships one NIC transfer per GPU pair.
         #: Irrelevant (and unused) on single-node machines.
         self.internode = internode
+        #: Collective schedule for replica broadcasts and staged
+        #: exchanges: ``none`` keeps the legacy per-destination /
+        #: per-node-pair schedule exactly; ``ring``/``tree`` force one
+        #: structured schedule; ``auto`` selects per transfer from the
+        #: modeled topology (docs/COLLECTIVES.md).  Timing-only: array
+        #: results are bit-identical across modes.  Only applies on the
+        #: ``staged`` transport -- ``naive`` stays naive so the
+        #: ablation baseline is undisturbed.
+        self.collective = collective
+        self.collectives = (
+            CollectiveEngine(platform, collective, tracer=tracer)
+            if collective != "none" else None)
         #: Wall-clock fast paths (slice-based dirty propagation, batched
         #: miss replay).  Pure host-side implementation detail: modeled
         #: time, transfer bytes and array contents are bit-identical
@@ -157,6 +175,28 @@ class CommunicationManager:
         #: ``naive``) and staged node-pair exchanges performed.
         self.bytes_internode = 0
         self.staged_exchanges = 0
+
+    # -- collective telemetry (0 when the engine is off) ---------------------------
+
+    @property
+    def collective_broadcasts(self) -> int:
+        """Collective (ring/tree) broadcasts scheduled by the engine."""
+        if self.collectives is None:
+            return 0
+        return sum(self.collectives.broadcasts.values())
+
+    @property
+    def collective_steps(self) -> int:
+        """Pipeline steps (chunk hops) scheduled by the engine."""
+        return 0 if self.collectives is None else self.collectives.steps
+
+    @property
+    def bytes_collective(self) -> int:
+        """Wire bytes moved under collective schedules (each hop a
+        relayed chunk traverses counts once)."""
+        if self.collectives is None:
+            return 0
+        return sum(self.collectives.bytes_scheduled.values())
 
     # -- top level -----------------------------------------------------------------
 
@@ -369,6 +409,21 @@ class CommunicationManager:
         for g, t, nbytes in pairs:
             groups.setdefault((self._node(g), self._node(t)), []) \
                 .append((g, t, nbytes))
+        if self.collectives is not None:
+            # Progress engine: same per-node-pair aggregation, but the
+            # gather/NIC/scatter legs pipeline in NIC-sized chunks so
+            # NET time hides behind the PCIe legs (docs/COLLECTIVES.md).
+            for sn, dn in sorted(groups):
+                outbound = {}
+                inbound = {}
+                for g, t, nbytes in groups[(sn, dn)]:
+                    outbound[g] = outbound.get(g, 0) + nbytes
+                    inbound[t] = inbound.get(t, 0) + nbytes
+                self.collectives.exchange(ma.name, sn, dn, outbound,
+                                          inbound, self._floor, self._note)
+                self.bytes_internode += sum(outbound.values())
+                self.staged_exchanges += 1
+            return
         with self._tag(MECH_INTERNODE_STAGED, ma.name):
             for sn, dn in sorted(groups):
                 outbound: dict[int, int] = {}
@@ -416,6 +471,20 @@ class CommunicationManager:
         by_node: dict[int, list[int]] = {}
         for t in far:
             by_node.setdefault(self._node(t), []).append(t)
+        if self.collectives is not None:
+            # Ring/tree broadcast between the destination node hosts
+            # instead of one NIC transfer per destination node from the
+            # source: same dedup (each node receives ``total`` once),
+            # but the source NIC port is loaded once and the hops
+            # pipeline (docs/COLLECTIVES.md).
+            self.collectives.node_broadcast(ma.name, g, by_node, total,
+                                            self._floor, self._note)
+            for dn in sorted(by_node):
+                self.bytes_internode += total
+                for t in by_node[dn]:
+                    self.bytes_replica += total
+                    self._account(ma.name, "replica", total, transfers=1)
+            return
         with self._tag(MECH_INTERNODE_STAGED, ma.name):
             d = bus.d2h(g, total, not_before=self._floor(g),
                         category=CATEGORY_GPU_GPU, local=True)
@@ -493,7 +562,18 @@ class CommunicationManager:
             targets = near
             if not targets:
                 continue
-            if self._stage_broadcast(g, targets, runs, total):
+            if (self.collectives is not None
+                    and self.collectives.gpu_broadcast(
+                        ma.name, g, targets, runs, total,
+                        self._floor, self._note) is not None):
+                # Hub-local ring chain or binomial p2p tree between the
+                # node's replicas; ``auto`` returns None when the
+                # direct fan-out prices cheaper and we fall through to
+                # the legacy paths unchanged.
+                for t in targets:
+                    self.bytes_replica += total
+                    self._account(ma.name, "replica", total, transfers=1)
+            elif self._stage_broadcast(g, targets, runs, total):
                 # Host-staged broadcast: one D2H of the dirty bytes,
                 # then one H2D per replica chained on its completion.
                 # For a fan-out of two or more this loads each link

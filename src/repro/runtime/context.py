@@ -79,6 +79,7 @@ class AccExecutor:
         tracer: Any | None = None,
         fastpath: bool = True,
         internode: str = "staged",
+        collective: str = "none",
     ) -> None:
         if engine not in ("vector", "interp"):
             raise ValueError("engine must be 'vector' or 'interp'")
@@ -106,7 +107,8 @@ class AccExecutor:
                                          tree_reduction=tree_reduction,
                                          overlap=overlap, coalesce=coalesce,
                                          tracer=tracer, fastpath=fastpath,
-                                         internode=internode)
+                                         internode=internode,
+                                         collective=collective)
         #: Launch fast path: per-(plan, GPU) kernel contexts with their
         #: argument bindings, revalidated against each array's version
         #: counter.  Values pin the plan/config objects they were built

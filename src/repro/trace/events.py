@@ -77,6 +77,15 @@ MECH_REDUCTION_BCAST = "reduction_broadcast"
 #: Per-node-pair aggregated inter-node exchange (gather to the node
 #: host, one NIC transfer, scatter on arrival).
 MECH_INTERNODE_STAGED = "internode_staged"
+#: Collective broadcast scheduled as a chunked ring pipeline
+#: (``collective="ring"`` or selected by ``"auto"``).
+MECH_COLLECTIVE_RING = "collective_ring"
+#: Collective broadcast scheduled as a binomial tree
+#: (``collective="tree"`` or selected by ``"auto"``).
+MECH_COLLECTIVE_TREE = "collective_tree"
+#: Staged inter-node exchange rescheduled by the progress engine as a
+#: chunked gather/NIC/scatter pipeline (any ``collective`` != "none").
+MECH_COLLECTIVE_PIPELINE = "collective_pipeline"
 MECH_LOAD = "load"
 MECH_MIGRATION = "migration"
 MECH_WRITEBACK = "writeback"
@@ -85,7 +94,8 @@ MECH_UPDATE = "update_directive"
 ALL_MECHANISMS = (
     MECH_REPLICA, MECH_REPLICA_STAGED, MECH_WINDOWED, MECH_HALO,
     MECH_MISS_REPLAY, MECH_REDUCTION_MERGE, MECH_REDUCTION_BCAST,
-    MECH_INTERNODE_STAGED, MECH_LOAD, MECH_MIGRATION, MECH_WRITEBACK,
+    MECH_INTERNODE_STAGED, MECH_COLLECTIVE_RING, MECH_COLLECTIVE_TREE,
+    MECH_COLLECTIVE_PIPELINE, MECH_LOAD, MECH_MIGRATION, MECH_WRITEBACK,
     MECH_UPDATE,
 )
 

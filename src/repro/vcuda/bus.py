@@ -314,6 +314,41 @@ class Bus:
         return self._schedule_net(src_node, dst_node, nbytes,
                                   not_before=not_before, category=category)
 
+    def net_pipeline(self, path: list[int], chunks: list[int], *,
+                     chunk_ready: list[float] | None = None,
+                     category: str | None = None,
+                     ) -> dict[int, list[Transfer]]:
+        """Queue a chunked multi-leg NET pipeline along ``path`` (a
+        sequence of distinct nodes).
+
+        Chunk *k* on leg *i* depends on chunk *k* having finished leg
+        *i-1*; NIC-port occupancy then serializes same-port chunks, so
+        leg *i+1* of chunk *k* naturally overlaps leg *i* of chunk
+        *k+1* -- the bandwidth-optimal pipelined schedule a ring
+        broadcast prices.  ``chunk_ready[k]`` (optional) is the time
+        chunk *k* leaves the source node (e.g. its gather D2H end).
+
+        Returns the per-node arrival transfers: ``result[node][k]`` is
+        the transfer that delivered chunk *k* to ``node``.
+        """
+        if len(path) < 2:
+            return {}
+        arrivals: dict[int, list[Transfer]] = {n: [] for n in path[1:]}
+        legs = list(zip(path, path[1:]))
+        # Chunk-major issue order: a chunk traverses every leg before
+        # the next chunk is issued.  NIC-port occupancy is a scalar
+        # free-at per node, so leg-major order would (wrongly) make a
+        # relay node wait for the whole inbound leg before forwarding
+        # anything.
+        for k, nbytes in enumerate(chunks):
+            ready = chunk_ready[k] if chunk_ready is not None else 0.0
+            for a, b in legs:
+                tr = self.net(a, b, nbytes, not_before=ready,
+                              category=category)
+                ready = tr.end
+                arrivals[b].append(tr)
+        return arrivals
+
     def sync(self, category: str | None = None) -> float:
         """Wait for all queued transfers; advance the clock to the makespan.
 
@@ -419,6 +454,35 @@ class Bus:
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def duration(self, kind: TransferKind, nbytes: int,
+                 src: int | None = None, dst: int | None = None) -> float:
+        """Unloaded duration of a PCIe transfer (latency + bytes/bw),
+        ignoring link contention.  Schedule cost models (the collective
+        engine, ``explain --collectives``) price candidate schedules
+        with this without issuing transfers."""
+        return self._duration(kind, nbytes, src, dst)
+
+    def net_duration(self, src_node: int, dst_node: int,
+                     nbytes: int) -> float:
+        """Unloaded duration of a NIC transfer between two nodes.  Like
+        :meth:`duration` but for the NET lane; raises
+        :class:`NetworkError` on a dead link."""
+        return self._net_duration(src_node, dst_node, nbytes)
+
+    @staticmethod
+    def split_chunks(nbytes: int, chunk_bytes: int) -> list[int]:
+        """Split a payload into pipeline chunks of at most
+        ``chunk_bytes`` (the last chunk carries the remainder).  A
+        payload that fits in one chunk comes back whole -- chunking is
+        only worth its per-message latency when there is something to
+        overlap."""
+        if nbytes <= 0:
+            return []
+        if chunk_bytes <= 0 or nbytes <= chunk_bytes:
+            return [nbytes]
+        full, rem = divmod(nbytes, chunk_bytes)
+        return [chunk_bytes] * full + ([rem] if rem else [])
 
     @staticmethod
     def coalesce_runs(runs: list[tuple[int, int]]) -> list[tuple[int, int]]:

@@ -97,6 +97,9 @@ class BusSpec:
     hub_uplink_bandwidth: float = 12e9
     #: Per-transfer latency in seconds (DMA setup + driver).
     latency: float = 12e-6
+    #: Schedule cost hint: pipeline chunk size (bytes) for intra-node
+    #: ring broadcasts (see docs/COLLECTIVES.md).
+    collective_chunk_bytes: int = 1024 * 1024
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +200,11 @@ class NicSpec:
     #: Per-flow bandwidth when the flow crosses the root switch
     #: (``None`` = full bisection, same as ``bandwidth``).
     cross_group_bandwidth: float | None = None
+    #: Schedule cost hint: pipeline chunk size (bytes) for collective
+    #: broadcasts and the staged-exchange progress engine.  Payloads
+    #: larger than this are split so the NIC leg of chunk *k* overlaps
+    #: the PCIe legs of chunks *k±1* (see docs/COLLECTIVES.md).
+    collective_chunk_bytes: int = 64 * 1024
 
 
 #: TSUBAME2.0-era fabric: 4x QDR InfiniBand, ~3.2 GB/s effective per

@@ -47,6 +47,12 @@ FLAG_COMBOS = [
     # elided inter-loop communication, scratch-demoted intermediates);
     # results must still be bit-identical to the unfused baseline.
     {"fuse": True},
+    # collective=ring/tree reschedules replica broadcasts and staged
+    # exchanges through the collective engine (hub-local ring chains /
+    # binomial trees + the chunked progress engine); pure re-pricing,
+    # so results must match the legacy "none" schedule bit for bit.
+    {"collective": "ring"},
+    {"collective": "tree"},
     {"overlap": True, "coalesce": True, "adaptive": True,
      "trace": True, "sanitize": True},
     {"overlap": True, "coalesce": True, "adaptive": True,
@@ -55,7 +61,9 @@ FLAG_COMBOS = [
      "trace": True, "sanitize": True, "fuse": True},
 ]
 
-COMBO_IDS = ["+".join(sorted(c)) for c in FLAG_COMBOS]
+COMBO_IDS = ["+".join(k if isinstance(v, bool) else f"{k}={v}"
+                      for k, v in sorted(c.items()))
+             for c in FLAG_COMBOS]
 
 
 def machine_for(ngpus):

@@ -67,6 +67,60 @@ class TestMarkdownLinks:
                 f"README.md does not index docs/{page.name}")
 
 
+class TestChoosingFlags:
+    """The README "Choosing flags" how-to cannot drift from the code:
+    every ``AccProgram.run`` parameter and every ``CompileOptions``
+    field must appear (backticked) in that section, and the section
+    must not advertise flags that no longer exist."""
+
+    @staticmethod
+    def _section() -> str:
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        m = re.search(r"## Choosing flags\n(.*?)\n## ", text, re.DOTALL)
+        assert m, "README.md lost its 'Choosing flags' section"
+        return m.group(1)
+
+    def test_every_run_parameter_is_documented(self):
+        import inspect
+
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.api import AccProgram
+            params = [p for p in inspect.signature(
+                AccProgram.run).parameters if p != "self"]
+        finally:
+            sys.path.remove(str(REPO / "src"))
+        section = self._section()
+        missing = [p for p in params if f"`{p}`" not in section]
+        assert not missing, (
+            f"README 'Choosing flags' misses run() params: {missing}")
+
+    def test_every_compile_option_is_documented(self):
+        import dataclasses
+
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.translator.compiler import CompileOptions
+            fields = [f.name for f in dataclasses.fields(CompileOptions)]
+        finally:
+            sys.path.remove(str(REPO / "src"))
+        section = self._section()
+        missing = [f for f in fields if f"`{f}`" not in section]
+        assert not missing, (
+            f"README 'Choosing flags' misses CompileOptions: {missing}")
+
+    def test_documented_collective_modes_exist(self):
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.runtime.collectives import COLLECTIVE_MODES
+        finally:
+            sys.path.remove(str(REPO / "src"))
+        section = self._section()
+        for mode in COLLECTIVE_MODES:
+            assert f'"{mode}"' in section, (
+                f"README 'Choosing flags' misses collective mode {mode!r}")
+
+
 def _run(cmd, **kw):
     full_env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
     return subprocess.run(cmd, cwd=REPO, env=full_env, text=True,

@@ -75,3 +75,39 @@ def traced_cluster_run(app: str, nodes: int, gpus_per_node: int):
 def load_cluster_golden(app: str, nodes: int, gpus_per_node: int) -> dict:
     with open(cluster_golden_path(app, nodes, gpus_per_node)) as f:
         return json.load(f)
+
+
+#: Collective-schedule golden matrix: the cluster apps on multi-node
+#: topologies under the forced ring and tree schedules.  The legacy
+#: ``collective="none"`` schedule keeps the CLUSTER_CASES goldens
+#: above byte-for-byte -- these are additional files, never edits.
+COLLECTIVE_SCHEDULES = ("ring", "tree")
+COLLECTIVE_TOPOLOGIES = ((2, 2), (2, 4))
+COLLECTIVE_CASES = [(name, nodes, gpus, sched) for name in CLUSTER_APPS
+                    for nodes, gpus in COLLECTIVE_TOPOLOGIES
+                    for sched in COLLECTIVE_SCHEDULES]
+
+
+def collective_golden_path(app: str, nodes: int, gpus_per_node: int,
+                           schedule: str) -> str:
+    return os.path.join(
+        GOLDEN_DIR, f"{app}-{nodes}x{gpus_per_node}node-{schedule}.json")
+
+
+@functools.lru_cache(maxsize=None)
+def traced_collective_run(app: str, nodes: int, gpus_per_node: int,
+                          schedule: str):
+    """One traced tiny-workload collective run per case, cached."""
+    spec = APPS[app]
+    prog = compile_acc(spec.source)
+    cluster = hypothetical_cluster(nodes, gpus_per_node)
+    return prog.run(spec.entry, spec.args_for("tiny"), machine=cluster,
+                    ngpus=cluster.gpu_count, trace=True,
+                    collective=schedule)
+
+
+def load_collective_golden(app: str, nodes: int, gpus_per_node: int,
+                           schedule: str) -> dict:
+    with open(collective_golden_path(app, nodes, gpus_per_node,
+                                     schedule)) as f:
+        return json.load(f)

@@ -22,17 +22,23 @@ from repro.trace.golden import check_invariants, diff, normalize
 from .common import (
     CASES,
     CLUSTER_CASES,
+    COLLECTIVE_CASES,
     cluster_golden_path,
+    collective_golden_path,
     golden_path,
     load_cluster_golden,
+    load_collective_golden,
     load_golden,
     traced_cluster_run,
+    traced_collective_run,
     traced_run,
 )
 
 CASE_IDS = [f"{app}-{g}gpu" + ("-fused" if fuse else "")
             for app, g, fuse in CASES]
 CLUSTER_IDS = [f"{app}-{n}x{g}node" for app, n, g in CLUSTER_CASES]
+COLLECTIVE_IDS = [f"{app}-{n}x{g}node-{s}"
+                  for app, n, g, s in COLLECTIVE_CASES]
 
 
 @pytest.mark.parametrize(("app", "ngpus", "fuse"), CASES, ids=CASE_IDS)
@@ -132,3 +138,57 @@ def test_cluster_trace_byte_totals_match_bus(app, nodes, gpus):
     if nodes > 1:
         assert summary["transfer_bytes"].get("net", 0) > 0, (
             "multi-node run never touched the NIC")
+
+
+# -- collective schedules -----------------------------------------------------
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus", "sched"),
+                         COLLECTIVE_CASES, ids=COLLECTIVE_IDS)
+def test_collective_trace_invariants(app, nodes, gpus, sched):
+    run = traced_collective_run(app, nodes, gpus, sched)
+    assert run.tracer is not None
+    check_invariants(run.tracer)
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus", "sched"),
+                         COLLECTIVE_CASES, ids=COLLECTIVE_IDS)
+def test_collective_trace_matches_golden(app, nodes, gpus, sched):
+    path = collective_golden_path(app, nodes, gpus, sched)
+    assert os.path.exists(path), (
+        f"no golden for {app} {nodes}x{gpus}node-{sched}; run "
+        "tests/trace_golden/update_goldens.py")
+    run = traced_collective_run(app, nodes, gpus, sched)
+    summary = normalize(run.tracer)
+    problems = diff(summary, load_collective_golden(app, nodes, gpus, sched))
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus", "sched"),
+                         COLLECTIVE_CASES, ids=COLLECTIVE_IDS)
+def test_collective_trace_reconciles_with_breakdown(app, nodes, gpus, sched):
+    """The Fig. 8 accounting identity survives collective scheduling:
+    chunked pipelines and relayed hops still attribute every traced
+    second to exactly one breakdown bucket."""
+    run = traced_collective_run(app, nodes, gpus, sched)
+    rows = reconcile(run.tracer, run.breakdown)
+    for bucket, row in rows.items():
+        tol = 1e-9 if bucket == "other" else 0.0
+        assert abs(row["residual"]) <= tol, (
+            f"{bucket}: traced {row['traced']!r} != reported "
+            f"{row['reported']!r}")
+
+
+@pytest.mark.parametrize(("app", "nodes", "gpus", "sched"),
+                         COLLECTIVE_CASES, ids=COLLECTIVE_IDS)
+def test_collective_trace_byte_totals_match_bus(app, nodes, gpus, sched):
+    """Traced bytes equal bus bytes per kind under ring/tree too."""
+    run = traced_collective_run(app, nodes, gpus, sched)
+    summary = normalize(run.tracer)
+    bus = run.platform.bus
+    for kind in ("h2d", "d2h", "p2p", "net"):
+        traced = summary["transfer_bytes"].get(kind, 0)
+        assert traced == bus.bytes_moved(kind), (
+            f"{kind}: traced {traced} != bus {bus.bytes_moved(kind)}")
+    assert summary["transfer_bytes"].get("net", 0) > 0, (
+        "collective run never touched the NIC")

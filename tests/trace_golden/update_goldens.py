@@ -24,10 +24,13 @@ from repro.trace.golden import check_invariants, normalize  # noqa: E402
 from tests.trace_golden.common import (  # noqa: E402
     CASES,
     CLUSTER_CASES,
+    COLLECTIVE_CASES,
     GOLDEN_DIR,
     cluster_golden_path,
+    collective_golden_path,
     golden_path,
     traced_cluster_run,
+    traced_collective_run,
     traced_run,
 )
 
@@ -49,6 +52,11 @@ def main() -> int:
         run = traced_cluster_run(app, nodes, gpus)
         check_invariants(run.tracer)
         _write(cluster_golden_path(app, nodes, gpus), normalize(run.tracer))
+    for app, nodes, gpus, sched in COLLECTIVE_CASES:
+        run = traced_collective_run(app, nodes, gpus, sched)
+        check_invariants(run.tracer)
+        _write(collective_golden_path(app, nodes, gpus, sched),
+               normalize(run.tracer))
     return 0
 
 
